@@ -1,0 +1,20 @@
+"""Table rendering shared by the experiment harness bench files."""
+
+from __future__ import annotations
+
+
+def render_table(title: str, headers: list[str], rows: list[list], note: str = "") -> str:
+    """Fixed-width table rendering for the experiment printouts."""
+    widths = [len(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Experiment A1 (ablation): what each decompilation pass buys.
+
+The paper motivates each recovery technique qualitatively (section 2); this
+ablation quantifies them on this reproduction.  For four kernels, the flow
+runs with one pass disabled at a time and reports the resulting hardware
+quality (kernel time and area of the hottest loop) against the full
+pipeline:
+
+* constant propagation off -> move idioms/address arithmetic get
+  synthesized as real operators (area up),
+* stack removal off -> frame traffic serializes on the memory port
+  (-O0 kernels slow down),
+* strength promotion off -> shift/add trees occupy adders (area up on -O2
+  binaries),
+* loop rerolling off -> unrolled -O3 bodies inflate the datapath and the
+  controller (area up).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.decompile.decompiler import DecompilationOptions, decompile
+from repro.flow import run_flow_on_executable
+from repro.platform import MIPS_200MHZ
+from repro.programs import get_benchmark
+
+from _tables import render_table
+
+_CONFIGS = {
+    "full": (DecompilationOptions(), 1),
+    "no constprop": (
+        DecompilationOptions(constant_propagation=False, stack_removal=False), 1
+    ),
+    "no stack removal (-O0)": (DecompilationOptions(stack_removal=False), 0),
+    "no strength promotion (-O2)": (
+        DecompilationOptions(strength_promotion=False), 2
+    ),
+    "no rerolling (-O3)": (DecompilationOptions(loop_rerolling=False), 3),
+}
+
+_KERNELS = ["fir", "brev", "jpegdct", "matmul"]
+
+
+def _run(name: str, options: DecompilationOptions, opt_level: int):
+    bench = get_benchmark(name)
+    exe = compile_source(bench.source, opt_level=opt_level)
+    return run_flow_on_executable(
+        exe, name, opt_level=opt_level, platform=MIPS_200MHZ,
+        decompile_options=options,
+    )
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    data = {}
+    for name in _KERNELS:
+        for label, (options, level) in _CONFIGS.items():
+            data[(name, label)] = _run(name, options, level)
+        # reference runs at the ablation levels with the full pipeline
+        for level in (0, 2, 3):
+            data[(name, f"full@O{level}")] = _run(name, DecompilationOptions(), level)
+    return data
+
+
+def test_ablation_report(ablation):
+    rows = []
+    for name in _KERNELS:
+        for label in _CONFIGS:
+            report = ablation[(name, label)]
+            rows.append(
+                [
+                    name if label == "full" else "",
+                    label,
+                    f"{report.app_speedup:.2f}",
+                    f"{report.area_gates:.0f}",
+                    report.decompile_stats.final_ops if report.decompile_stats else "-",
+                ]
+            )
+    print()
+    print(render_table(
+        "A1: decompilation pass ablation (hottest-loop hardware quality)",
+        ["benchmark", "configuration", "app speedup", "area (gates)", "CDFG ops"],
+        rows,
+    ))
+
+
+def test_constprop_required_for_quality(ablation):
+    # without constant propagation the recovered CDFG keeps address
+    # materialization and move chains: strictly more operations
+    for name in _KERNELS:
+        full = ablation[(name, "full")]
+        crippled = ablation[(name, "no constprop")]
+        assert crippled.decompile_stats.final_ops > full.decompile_stats.final_ops, name
+
+
+def test_stack_removal_wins_on_O0(ablation):
+    better = 0
+    for name in _KERNELS:
+        with_pass = ablation[(name, "full@O0")]
+        without = ablation[(name, "no stack removal (-O0)")]
+        if with_pass.app_speedup > without.app_speedup * 1.02:
+            better += 1
+    assert better >= 2, "stack removal must speed up -O0 kernels"
+
+
+def test_strength_promotion_saves_area_on_O2(ablation):
+    saved = 0
+    for name in _KERNELS:
+        with_pass = ablation[(name, "full@O2")]
+        without = ablation[(name, "no strength promotion (-O2)")]
+        if with_pass.recovered and without.recovered:
+            if with_pass.area_gates <= without.area_gates:
+                saved += 1
+    assert saved >= 2
+
+
+def test_rerolling_shrinks_O3_hardware(ablation):
+    shrunk = 0
+    for name in _KERNELS:
+        with_pass = ablation[(name, "full@O3")]
+        without = ablation[(name, "no rerolling (-O3)")]
+        if with_pass.decompile_stats.final_ops < without.decompile_stats.final_ops:
+            shrunk += 1
+    assert shrunk >= 2
+
+
+def test_bench_full_pipeline(benchmark):
+    """Times the full decompilation pipeline on an -O3 binary."""
+    exe = compile_source(get_benchmark("fir").source, opt_level=3)
+    program = benchmark(lambda: decompile(exe))
+    assert program.recovered

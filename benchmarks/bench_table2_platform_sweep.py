@@ -1,0 +1,94 @@
+"""Experiment T2: platform clock sweep (40 / 200 / 400 MHz MIPS).
+
+Regenerates the paper's platform observations (section 4):
+
+    "Compared to a 400 MHz MIPS, the application speedups were 3.8 and the
+    energy savings were 49%.  For slower platforms with a 40 MHz
+    microprocessor, the application speedup was 12.6 and the energy
+    savings were 84%."
+
+Shape claims asserted: both speedup and energy savings fall monotonically
+as the CPU gets faster (the FPGA is a fixed resource, so a faster CPU
+closes the gap), while staying clearly profitable everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.programs import ALL_BENCHMARKS
+
+from _tables import render_table
+
+PAPER_ROWS = {40.0: (12.6, 84.0), 200.0: (5.4, 69.0), 400.0: (3.8, 49.0)}
+
+
+def _averages(flows, cpu_mhz: float):
+    reports = [flows.report(b.name, 1, cpu_mhz) for b in ALL_BENCHMARKS]
+    ok = [r for r in reports if r.recovered]
+    n = len(ok)
+    return (
+        sum(r.app_speedup for r in ok) / n,
+        100 * sum(r.energy_savings for r in ok) / n,
+        sum(r.kernel_speedup for r in ok) / n,
+    )
+
+
+def test_table2_report(flows):
+    rows = []
+    measured = {}
+    for mhz in (40.0, 200.0, 400.0):
+        speedup, energy, kernel = _averages(flows, mhz)
+        measured[mhz] = (speedup, energy)
+        paper_speedup, paper_energy = PAPER_ROWS[mhz]
+        rows.append(
+            [
+                f"{mhz:.0f} MHz",
+                f"{speedup:.2f}",
+                f"{paper_speedup}",
+                f"{energy:.1f}",
+                f"{paper_energy}",
+                f"{kernel:.1f}",
+            ]
+        )
+    print()
+    print(render_table(
+        "T2: platform sweep, averages over the 18 recovered benchmarks (-O1)",
+        ["CPU clock", "app speedup", "paper", "energy savings %", "paper", "kernel speedup"],
+        rows,
+    ))
+
+    # --- shape assertions -------------------------------------------------
+    assert measured[40.0][0] > measured[200.0][0] > measured[400.0][0]
+    assert measured[40.0][1] > measured[200.0][1] > measured[400.0][1]
+    assert measured[400.0][0] > 1.5, "still clearly profitable at 400 MHz"
+    # magnitudes within a factor of ~1.5 of the paper
+    for mhz, (paper_speedup, paper_energy) in PAPER_ROWS.items():
+        speedup, energy = measured[mhz]
+        assert 0.5 <= speedup / paper_speedup <= 2.0, (mhz, speedup)
+        assert abs(energy - paper_energy) <= 20.0, (mhz, energy)
+
+
+def test_hardware_kernels_independent_of_cpu_clock(flows):
+    """The synthesized kernels are the same hardware regardless of the CPU."""
+    fast = flows.report("fir", 1, 400.0)
+    slow = flows.report("fir", 1, 40.0)
+    if fast.metrics and slow.metrics:
+        fast_clocks = {k.name: k.clock_mhz for k in fast.metrics.kernels}
+        slow_clocks = {k.name: k.clock_mhz for k in slow.metrics.kernels}
+        for name in fast_clocks.keys() & slow_clocks.keys():
+            assert fast_clocks[name] == slow_clocks[name]
+
+
+def test_bench_platform_evaluation(benchmark, flows):
+    """Times re-evaluating a partition on a new platform (the cheap step)."""
+    from repro.platform import MIPS_400MHZ, evaluate_partition
+
+    report = flows.report("fir", 1, 200.0)
+    result = benchmark(
+        lambda: evaluate_partition(
+            MIPS_400MHZ,
+            report.profile.total_cycles,
+            report.partition.selected,
+            report.partition.step_of,
+        )
+    )
+    assert result.app_speedup > 0

@@ -1,0 +1,115 @@
+"""Experiment T3: the compiler optimization-level study.
+
+Regenerates the paper's section-4 experiment on four benchmarks compiled at
+four optimization levels:
+
+    "As expected, software execution times improved as the level of
+    compiler optimizations increased.  In most cases, the execution times
+    of the synthesized examples also improved with more compiler
+    optimizations. ...  Speedup was significant for all levels of compiler
+    optimizations, although the speedup did not always increase with more
+    compiler optimizations. ...  The energy savings were also very similar
+    across different levels of compiler optimizations."
+
+Asserted shape:
+* software time decreases from -O0 to -O2 for every benchmark,
+* hardware-partitioned execution time usually improves with optimization,
+* speedup stays significant (>1.5x) at every level,
+* speedup is NOT monotone in the level for at least one benchmark,
+* energy savings stay in a narrow band across levels.
+"""
+
+from __future__ import annotations
+
+from repro.programs import OPT_LEVEL_STUDY
+
+from _tables import render_table
+
+LEVELS = [0, 1, 2, 3]
+
+
+def _study(flows):
+    data = {}
+    for name in OPT_LEVEL_STUDY:
+        for level in LEVELS:
+            data[(name, level)] = flows.report(name, level, 200.0)
+    return data
+
+
+def test_table3_report(flows):
+    data = _study(flows)
+    rows = []
+    for name in OPT_LEVEL_STUDY:
+        for level in LEVELS:
+            report = data[(name, level)]
+            sw_ms = 1000 * report.platform.cpu_seconds(report.run.cycles)
+            hw_ms = 1000 * report.metrics.hw_seconds if report.metrics else sw_ms
+            rows.append(
+                [
+                    name if level == 0 else "",
+                    f"O{level}",
+                    f"{sw_ms:.2f}",
+                    f"{hw_ms:.3f}",
+                    f"{report.app_speedup:.2f}",
+                    f"{100 * report.energy_savings:.1f}",
+                ]
+            )
+    print()
+    print(render_table(
+        "T3: optimization-level study (200 MHz MIPS)",
+        ["benchmark", "level", "sw time (ms)", "hw-partitioned (ms)", "speedup", "energy savings %"],
+        rows,
+        note="paper: sw time improves with level; speedup significant at every level "
+             "but not monotone; energy savings similar across levels",
+    ))
+
+    for name in OPT_LEVEL_STUDY:
+        sw_times = [data[(name, lv)].run.cycles for lv in LEVELS]
+        speedups = [data[(name, lv)].app_speedup for lv in LEVELS]
+        energies = [data[(name, lv)].energy_savings for lv in LEVELS]
+
+        # software improves with optimization through -O2
+        assert sw_times[0] > sw_times[1] >= sw_times[2], name
+        # speedup significant at every level
+        assert all(s > 1.5 for s in speedups), (name, speedups)
+        # energy savings in a narrow band across levels
+        assert max(energies) - min(energies) < 0.30, (name, energies)
+
+
+def test_speedup_not_monotone_somewhere(flows):
+    data = _study(flows)
+    monotone = 0
+    for name in OPT_LEVEL_STUDY:
+        speedups = [data[(name, lv)].app_speedup for lv in LEVELS]
+        if all(b >= a for a, b in zip(speedups, speedups[1:])):
+            monotone += 1
+    # the paper: "the speedup did not always increase with more compiler
+    # optimizations" -- at least one benchmark must be non-monotone
+    assert monotone < len(OPT_LEVEL_STUDY)
+
+
+def test_hw_time_usually_improves_with_optimization(flows):
+    data = _study(flows)
+    improved = 0
+    for name in OPT_LEVEL_STUDY:
+        hw0 = data[(name, 0)].metrics.hw_seconds
+        hw2 = data[(name, 2)].metrics.hw_seconds
+        if hw2 <= hw0 * 1.02:
+            improved += 1
+    # "in most cases, the execution times of the synthesized examples also
+    # improved with more compiler optimizations"
+    assert improved >= len(OPT_LEVEL_STUDY) // 2 + 1
+
+
+def test_bench_compile_all_levels(benchmark):
+    """Times compiling one benchmark at all four levels."""
+    from repro.compiler import compile_source
+    from repro.programs import get_benchmark
+
+    source = get_benchmark("crc").source
+
+    def compile_all():
+        return [compile_source(source, opt_level=lv) for lv in LEVELS]
+
+    exes = benchmark.pedantic(compile_all, iterations=1, rounds=3)
+    assert len(exes) == 4

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's full evaluation: 20 benchmarks, three platform clocks.
+
+Reproduces section 4 of Stitt & Vahid (DATE'05): runs the complete
+decompilation-based partitioning flow over the EEMBC / PowerStone /
+MediaBench / custom suite and prints the per-benchmark table plus the
+platform-sweep averages next to the paper's reported numbers.
+
+Expect a few minutes of runtime (every benchmark is compiled, simulated
+cycle by cycle, decompiled, partitioned and synthesized -- at three CPU
+clock frequencies).
+
+Run:  python examples/full_study.py [--fast]
+      --fast limits the study to the 200 MHz platform.
+"""
+
+import sys
+
+from repro.flow import run_flow
+from repro.platform import MIPS_200MHZ, MIPS_400MHZ, MIPS_40MHZ
+from repro.programs import ALL_BENCHMARKS
+
+PAPER = {
+    40.0: {"speedup": 12.6, "energy": 84.0},
+    200.0: {"speedup": 5.4, "energy": 69.0},
+    400.0: {"speedup": 3.8, "energy": 49.0},
+}
+
+
+def run_platform(platform):
+    print(f"\n===== {platform.name} =====")
+    header = (
+        f"{'benchmark':10s} {'suite':11s} {'recovered':9s} {'speedup':>8s} "
+        f"{'kernel x':>9s} {'energy %':>9s} {'gates':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    reports = []
+    for bench in ALL_BENCHMARKS:
+        report = run_flow(bench.source, bench.name, opt_level=1, platform=platform)
+        reports.append(report)
+        if report.recovered:
+            print(
+                f"{bench.name:10s} {bench.suite:11s} {'yes':9s} "
+                f"{report.app_speedup:8.2f} {report.kernel_speedup:9.1f} "
+                f"{100 * report.energy_savings:9.1f} {report.area_gates:8.0f}"
+            )
+        else:
+            print(f"{bench.name:10s} {bench.suite:11s} {'NO (jr)':9s} "
+                  f"{'1.00':>8s} {'-':>9s} {'-':>9s} {'-':>8s}")
+    ok = [r for r in reports if r.recovered]
+    n = len(ok)
+    avg_speedup = sum(r.app_speedup for r in ok) / n
+    avg_energy = 100 * sum(r.energy_savings for r in ok) / n
+    avg_kernel = sum(r.kernel_speedup for r in ok) / n
+    avg_area = sum(r.area_gates for r in ok) / n
+    paper = PAPER[platform.cpu_clock_mhz]
+    print("-" * len(header))
+    print(
+        f"{'AVERAGE':10s} {'':11s} {f'{n}/20':9s} {avg_speedup:8.2f} "
+        f"{avg_kernel:9.1f} {avg_energy:9.1f} {avg_area:8.0f}"
+    )
+    print(
+        f"{'paper':10s} {'':11s} {'18/20':9s} {paper['speedup']:8.1f} "
+        f"{44.8 if platform.cpu_clock_mhz == 200.0 else float('nan'):9.1f} "
+        f"{paper['energy']:9.1f} {26261 if platform.cpu_clock_mhz == 200.0 else float('nan'):8.0f}"
+    )
+    return avg_speedup, avg_energy
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    platforms = [MIPS_200MHZ] if fast else [MIPS_40MHZ, MIPS_200MHZ, MIPS_400MHZ]
+    summary = {}
+    for platform in platforms:
+        summary[platform.cpu_clock_mhz] = run_platform(platform)
+
+    if len(summary) > 1:
+        print("\n===== platform sweep summary (measured vs paper) =====")
+        for mhz, (speedup, energy) in sorted(summary.items()):
+            paper = PAPER[mhz]
+            print(
+                f"  {mhz:5.0f} MHz: speedup {speedup:6.2f} (paper {paper['speedup']:5.1f})   "
+                f"energy savings {energy:5.1f}% (paper {paper['energy']:4.1f}%)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The paper's compiler optimization-level study (section 4).
+
+Four benchmarks (brev, crc, fir, matmul), each compiled at -O0 through
+-O3, partitioned and evaluated at 200 MHz.  Demonstrates the paper's
+claims: binary-level synthesis works at *every* optimization level, often
+improves with optimization, and the speedup is not monotone in the level
+(a faster software baseline is harder to beat).
+
+Also prints what the decompiler had to undo per level: stack operations
+at -O0, strength-reduced multiplications at -O2, unrolled loops at -O3.
+
+Run:  python examples/opt_levels.py
+"""
+
+from repro.flow import run_flow
+from repro.platform import MIPS_200MHZ
+from repro.programs import OPT_LEVEL_STUDY, get_benchmark
+
+
+def main() -> None:
+    header = (
+        f"{'benchmark':9s} {'level':5s} {'sw ms':>8s} {'hw ms':>8s} {'speedup':>8s} "
+        f"{'energy %':>9s} {'stack ops':>10s} {'muls promoted':>14s} {'rerolled':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in OPT_LEVEL_STUDY:
+        bench = get_benchmark(name)
+        for level in (0, 1, 2, 3):
+            report = run_flow(bench.source, name, opt_level=level, platform=MIPS_200MHZ)
+            sw_ms = 1e3 * report.platform.cpu_seconds(report.run.cycles)
+            hw_ms = 1e3 * report.metrics.hw_seconds
+            stats = report.decompile_stats
+            print(
+                f"{name if level == 0 else '':9s} O{level:<4d} {sw_ms:8.2f} {hw_ms:8.3f} "
+                f"{report.app_speedup:8.2f} {100 * report.energy_savings:9.1f} "
+                f"{stats.stack_ops_removed:10d} {stats.muls_promoted:14d} "
+                f"{stats.loops_rerolled:9d}"
+            )
+        print()
+    print("paper: software times improve with optimization level; synthesized")
+    print("execution usually improves too; speedup is significant at every level")
+    print("but not monotone; energy savings are similar across levels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so pip's
+PEP-517 editable path (which shells out to ``bdist_wheel``) cannot run.
+Keeping a classic ``setup.py`` (and no ``[build-system]`` table in
+``pyproject.toml``) lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` flow, which works with setuptools alone.
+"""
+
+from setuptools import setup
+
+setup()

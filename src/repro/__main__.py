@@ -1,0 +1,189 @@
+"""Command-line interface: the platform vendor's partitioning tool.
+
+The paper's deployment story is a back-end tool that operates on the final
+software binary, after any compiler.  This CLI is that tool:
+
+    # compile a mini-C file to a binary (the "software side")
+    python -m repro compile kernel.c -O1 -o kernel.sxe
+
+    # run the binary on the simulated MIPS
+    python -m repro run kernel.sxe
+
+    # partition the binary onto the hypothetical MIPS/Virtex-II platform
+    python -m repro partition kernel.sxe --cpu-mhz 200
+
+    # inspect what the decompiler recovers
+    python -m repro decompile kernel.sxe --function main
+
+    # dump synthesized VHDL for the hottest loop
+    python -m repro vhdl kernel.sxe -o kernel.vhd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.binary.image import Executable
+from repro.compiler.driver import CompilerOptions, compile_source
+from repro.decompile.decompiler import DecompilationOptions, decompile
+from repro.decompile.structure import render_pseudocode
+from repro.flow import run_flow_on_executable
+from repro.platform.platform import Platform
+from repro.sim.cpu import run_executable
+from repro.synth.fpga import VIRTEX2_DEVICES
+from repro.synth.synthesizer import Synthesizer
+
+
+def _load(path: str) -> Executable:
+    return Executable.from_bytes(Path(path).read_bytes())
+
+
+def cmd_compile(args) -> int:
+    source = Path(args.source).read_text()
+    options = CompilerOptions.from_level(args.opt_level)
+    exe = compile_source(source, options)
+    out = args.output or (Path(args.source).stem + ".sxe")
+    Path(out).write_bytes(exe.to_bytes())
+    print(f"{out}: {len(exe.text_words)} instructions, "
+          f"{len(exe.data)} data bytes, entry {exe.entry:#x} (-O{args.opt_level})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    exe = _load(args.binary)
+    cpu, result = run_executable(exe, profile=args.profile)
+    print(f"halted: {result.halted}  instructions: {result.steps:,}  "
+          f"cycles: {result.cycles:,}  CPI: {result.cpi:.2f}")
+    if args.read:
+        for symbol in args.read:
+            print(f"  {symbol} = {cpu.read_word_global_signed(symbol)}")
+    return 0
+
+
+def cmd_decompile(args) -> int:
+    exe = _load(args.binary)
+    options = DecompilationOptions(recover_jump_tables=args.jump_tables)
+    program = decompile(exe, options)
+    for failure in program.failures:
+        print(f"RECOVERY FAILED: {failure.function} @ {failure.address:#x}: "
+              f"{failure.reason}")
+    names = [args.function] if args.function else sorted(program.functions)
+    for name in names:
+        func = program.functions.get(name)
+        if func is None:
+            print(f"(function {name!r} not recovered)")
+            continue
+        print(render_pseudocode(func.cfg, func.structure))
+        print()
+    stats = program.total_stats()
+    print(f"ops: {stats.lifted_ops} lifted -> {stats.final_ops} recovered; "
+          f"{stats.moves_recovered} moves, {stats.stack_ops_removed} stack ops, "
+          f"{stats.muls_promoted} muls promoted, {stats.loops_rerolled} loops rerolled")
+    return 0 if program.recovered else 1
+
+
+def cmd_partition(args) -> int:
+    exe = _load(args.binary)
+    platform = Platform(
+        name=f"MIPS-{args.cpu_mhz:.0f}MHz + {args.device}",
+        cpu_clock_mhz=args.cpu_mhz,
+        device=VIRTEX2_DEVICES[args.device],
+    )
+    options = DecompilationOptions(recover_jump_tables=args.jump_tables)
+    report = run_flow_on_executable(
+        exe, Path(args.binary).stem, platform=platform, decompile_options=options
+    )
+    if not report.recovered:
+        print(f"CDFG recovery failed ({report.failure_reason}); "
+              "software-only implementation")
+        return 1
+    print(f"platform            : {platform.name}")
+    print(f"software cycles     : {report.run.cycles:,}")
+    for kernel in report.metrics.kernels:
+        print(f"  step {kernel.partition_step}: {kernel.name:32s} "
+              f"{kernel.speedup:6.1f}x  {kernel.area_gates:9,.0f} gates  "
+              f"{'BRAM' if kernel.localized else 'bus'}")
+    print(f"application speedup : {report.app_speedup:.2f}x")
+    print(f"kernel speedup      : {report.kernel_speedup:.1f}x")
+    print(f"energy savings      : {100 * report.energy_savings:.1f}%")
+    print(f"area                : {report.area_gates:,.0f} / "
+          f"{platform.device.capacity_gates:,} gates")
+    return 0
+
+
+def cmd_vhdl(args) -> int:
+    exe = _load(args.binary)
+    options = DecompilationOptions(recover_jump_tables=args.jump_tables)
+    program = decompile(exe, options)
+    if not program.recovered:
+        print("CDFG recovery failed; no hardware to emit", file=sys.stderr)
+        return 1
+    # hottest loop by static op count of the innermost loops
+    best = None
+    for func in program.functions.values():
+        for loop in func.loops:
+            size = sum(len(func.cfg.blocks[i].ops) for i in loop.body)
+            if best is None or loop.depth > best[1].depth or (
+                loop.depth == best[1].depth and size > best[3]
+            ):
+                best = (func, loop, func.name, size)
+    if best is None:
+        print("no loops found", file=sys.stderr)
+        return 1
+    func, loop, _, _ = best
+    kernel = Synthesizer().synthesize_loop(func, loop, exe)
+    out = args.output or (Path(args.binary).stem + ".vhd")
+    Path(out).write_text(kernel.vhdl)
+    print(f"{out}: {kernel.name} -- {kernel.area_gates:,.0f} gates, "
+          f"{kernel.clock_mhz:.0f} MHz, II={kernel.ii}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="decompilation-based binary-level HW/SW partitioning "
+                    "(Stitt & Vahid, DATE'05 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile mini-C to a MIPS binary (.sxe)")
+    p.add_argument("source")
+    p.add_argument("-O", dest="opt_level", type=int, default=1, choices=[0, 1, 2, 3])
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a binary on the cycle simulator")
+    p.add_argument("binary")
+    p.add_argument("--profile", action="store_true")
+    p.add_argument("--read", nargs="*", help="data symbols to print after the run")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("decompile", help="show the recovered CDFG")
+    p.add_argument("binary")
+    p.add_argument("--function")
+    p.add_argument("--jump-tables", action="store_true",
+                   help="enable the jump-table recovery extension")
+    p.set_defaults(fn=cmd_decompile)
+
+    p = sub.add_parser("partition", help="partition a binary onto the platform")
+    p.add_argument("binary")
+    p.add_argument("--cpu-mhz", type=float, default=200.0)
+    p.add_argument("--device", default="xc2v250", choices=sorted(VIRTEX2_DEVICES))
+    p.add_argument("--jump-tables", action="store_true")
+    p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("vhdl", help="emit RT-level VHDL for the hottest loop")
+    p.add_argument("binary")
+    p.add_argument("-o", "--output")
+    p.add_argument("--jump-tables", action="store_true")
+    p.set_defaults(fn=cmd_vhdl)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Executable image format and loader.
+
+A deliberately small ELF-like container: one text section of 32-bit words,
+one initialized data section, a symbol table, and an entry point.  This is
+what the compiler produces, the simulator loads, and -- crucially for the
+paper -- what the decompiler receives as its *only* input.
+"""
+
+from repro.binary.image import Executable, Symbol
+from repro.binary.loader import load_into_memory
+
+__all__ = ["Executable", "Symbol", "load_into_memory"]

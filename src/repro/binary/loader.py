@@ -1,0 +1,12 @@
+"""Load an :class:`Executable` image into simulator memory."""
+
+from __future__ import annotations
+
+from repro.binary.image import Executable
+
+
+def load_into_memory(exe: Executable, memory) -> int:
+    """Copy text and data sections into *memory*; return the entry address."""
+    memory.write_words(exe.text_base, exe.text_words)
+    memory.write_bytes(exe.data_base, exe.data)
+    return exe.entry

@@ -1,0 +1,23 @@
+"""Mini-C ("MC") compiler targeting the MIPS-I subset.
+
+This package substitutes for the paper's ``gcc`` cross-compiler.  It exists
+so the decompiler can be fed *real binaries* whose idioms match what the
+paper describes:
+
+* ``-O0``: every local lives in a stack slot; naive load/op/store code.
+  (Feeds the decompiler's *stack operation removal*.)
+* ``-O1``: register allocation, constant folding/propagation, copy
+  propagation, dead-code elimination, immediate folding.  This is the level
+  the paper's main experiments use.
+* ``-O2``: adds local CSE, loop-invariant code motion and **strength
+  reduction** of constant multiplications into shift/add sequences -- the
+  compiler optimization the paper's *strength promotion* must undo.
+* ``-O3``: adds **loop unrolling** of small counted loops -- the
+  optimization the paper's *loop rerolling* must undo.
+
+The public entry point is :func:`repro.compiler.driver.compile_source`.
+"""
+
+from repro.compiler.driver import CompilerOptions, compile_source, compile_to_asm
+
+__all__ = ["CompilerOptions", "compile_source", "compile_to_asm"]

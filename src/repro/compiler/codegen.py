@@ -1,0 +1,501 @@
+"""MIPS assembly generation from allocated IR.
+
+Emits the textual assembly dialect accepted by :mod:`repro.isa.assembler`.
+Conventions (matching the paper's instruction-set-overhead discussion):
+
+* register moves are emitted as ``addiu rd, rs, 0`` -- the arithmetic
+  instruction with a zero immediate that the decompiler's constant
+  propagation must turn back into a wire,
+* constants materialize through ``li`` (addiu/ori/lui+ori),
+* dense switches become bounds-checked ``jr``-through-table sequences,
+* spill code uses $t8/$t9, comparisons/branches use $at as scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ir
+from repro.compiler.regalloc import Allocation, allocate
+from repro.errors import CompileError
+from repro.isa.registers import REG_NAMES, Reg
+
+_SCRATCH_A = REG_NAMES[int(Reg.T8)]  # "$t8"
+_SCRATCH_B = REG_NAMES[int(Reg.T9)]  # "$t9"
+_AT = REG_NAMES[int(Reg.AT)]
+_ZERO = "$zero"
+_SP = "$sp"
+_ARG_REGS = ["$a0", "$a1", "$a2", "$a3"]
+
+#: reg-reg instruction for each IR binary op (simple cases)
+_SIMPLE_RR = {
+    "add": "addu",
+    "sub": "subu",
+    "and": "and",
+    "or": "or",
+    "xor": "xor",
+    "shl": "sllv",
+    "shr": "srlv",
+    "sar": "srav",
+}
+
+#: immediate instruction for each IR binary op (operand checked by imm_fold)
+_SIMPLE_RI = {
+    "add": "addiu",
+    "and": "andi",
+    "or": "ori",
+    "xor": "xori",
+    "shl": "sll",
+    "shr": "srl",
+    "sar": "sra",
+    "lt": "slti",
+    "ltu": "sltiu",
+}
+
+
+@dataclass
+class _FrameLayout:
+    spill_base: int
+    local_offsets: dict[int, int]  # slot.index -> sp offset
+    saved_regs: list[tuple[int, int]]  # (reg number, sp offset)
+    ra_offset: int | None
+    size: int
+
+
+class FunctionCodegen:
+    def __init__(
+        self,
+        func: ir.Function,
+        allocation: Allocation,
+        jump_tables: list[tuple[str, list[str]]],
+    ):
+        self.func = func
+        self.allocation = allocation
+        self.jump_tables = jump_tables
+        self.lines: list[str] = []
+        self.has_calls = any(isinstance(i, ir.Call) for i in func.instrs)
+        self.frame = self._layout_frame()
+        self.epilogue_label = f".L{func.name}_epilogue"
+
+    # ------------------------------------------------------------------
+    # frame layout
+    # ------------------------------------------------------------------
+
+    def _layout_frame(self) -> _FrameLayout:
+        offset = 0
+        spill_base = offset
+        offset += 4 * self.allocation.spill_count
+        local_offsets: dict[int, int] = {}
+        for slot in self.func.slots:
+            size = (slot.size + 3) & ~3
+            local_offsets[slot.index] = offset
+            offset += size
+        saved_regs: list[tuple[int, int]] = []
+        for reg in self.allocation.used_callee_saved:
+            saved_regs.append((reg, offset))
+            offset += 4
+        ra_offset: int | None = None
+        if self.has_calls:
+            ra_offset = offset
+            offset += 4
+        size = (offset + 7) & ~7
+        return _FrameLayout(spill_base, local_offsets, saved_regs, ra_offset, size)
+
+    def _spill_offset(self, vreg: ir.VReg) -> int:
+        return self.frame.spill_base + 4 * self.allocation.spill_of[vreg]
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def _src(self, vreg: ir.VReg, scratch: str) -> str:
+        """Return a register holding *vreg*, loading from the frame if spilled."""
+        reg = self.allocation.reg_of.get(vreg)
+        if reg is not None:
+            return REG_NAMES[reg]
+        self.emit(f"lw {scratch}, {self._spill_offset(vreg)}({_SP})")
+        return scratch
+
+    def _dst(self, vreg: ir.VReg) -> tuple[str, int | None]:
+        """Return (register to compute into, spill offset to store to or None)."""
+        reg = self.allocation.reg_of.get(vreg)
+        if reg is not None:
+            return REG_NAMES[reg], None
+        return _SCRATCH_A, self._spill_offset(vreg)
+
+    def _finish_dst(self, reg: str, store_offset: int | None) -> None:
+        if store_offset is not None:
+            self.emit(f"sw {reg}, {store_offset}({_SP})")
+
+    # ------------------------------------------------------------------
+    # function body
+    # ------------------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        self.emit_label(self.func.name)
+        self._prologue()
+        for instr in self.func.instrs:
+            self._gen_instr(instr)
+        self._epilogue()
+        return self.lines
+
+    def _prologue(self) -> None:
+        frame = self.frame
+        if frame.size:
+            self.emit(f"addiu {_SP}, {_SP}, -{frame.size}")
+        if frame.ra_offset is not None:
+            self.emit(f"sw $ra, {frame.ra_offset}({_SP})")
+        for reg, offset in frame.saved_regs:
+            self.emit(f"sw {REG_NAMES[reg]}, {offset}({_SP})")
+        for index, param in enumerate(self.func.params):
+            reg = self.allocation.reg_of.get(param)
+            if reg is not None:
+                self.emit(f"addiu {REG_NAMES[reg]}, {_ARG_REGS[index]}, 0")
+            elif param in self.allocation.spill_of:
+                self.emit(f"sw {_ARG_REGS[index]}, {self._spill_offset(param)}({_SP})")
+            # else: parameter never used; no move needed
+
+    def _epilogue(self) -> None:
+        frame = self.frame
+        self.emit_label(self.epilogue_label)
+        if frame.ra_offset is not None:
+            self.emit(f"lw $ra, {frame.ra_offset}({_SP})")
+        for reg, offset in frame.saved_regs:
+            self.emit(f"lw {REG_NAMES[reg]}, {offset}({_SP})")
+        if frame.size:
+            self.emit(f"addiu {_SP}, {_SP}, {frame.size}")
+        self.emit("jr $ra")
+
+    # ------------------------------------------------------------------
+    # per-instruction emission
+    # ------------------------------------------------------------------
+
+    def _gen_instr(self, instr: ir.Instr) -> None:
+        if isinstance(instr, ir.Label):
+            self.emit_label(instr.name)
+        elif isinstance(instr, ir.Const):
+            reg, store = self._dst(instr.dst)
+            self.emit(f"li {reg}, {instr.value & 0xFFFF_FFFF}")
+            self._finish_dst(reg, store)
+        elif isinstance(instr, ir.Copy):
+            src = self._src(instr.src, _SCRATCH_B)
+            reg, store = self._dst(instr.dst)
+            self.emit(f"addiu {reg}, {src}, 0")
+            self._finish_dst(reg, store)
+        elif isinstance(instr, ir.UnOp):
+            self._gen_unop(instr)
+        elif isinstance(instr, ir.BinOp):
+            self._gen_binop(instr)
+        elif isinstance(instr, ir.Load):
+            self._gen_load(instr)
+        elif isinstance(instr, ir.Store):
+            self._gen_store(instr)
+        elif isinstance(instr, ir.LoadAddr):
+            reg, store = self._dst(instr.dst)
+            suffix = f"+{instr.offset}" if instr.offset else ""
+            self.emit(f"la {reg}, {instr.symbol}{suffix}")
+            self._finish_dst(reg, store)
+        elif isinstance(instr, ir.SlotAddr):
+            reg, store = self._dst(instr.dst)
+            self.emit(f"addiu {reg}, {_SP}, {self.frame.local_offsets[instr.slot.index]}")
+            self._finish_dst(reg, store)
+        elif isinstance(instr, ir.LoadSlot):
+            reg, store = self._dst(instr.dst)
+            self.emit(f"lw {reg}, {self.frame.local_offsets[instr.slot.index]}({_SP})")
+            self._finish_dst(reg, store)
+        elif isinstance(instr, ir.StoreSlot):
+            src = self._src(instr.src, _SCRATCH_A)
+            self.emit(f"sw {src}, {self.frame.local_offsets[instr.slot.index]}({_SP})")
+        elif isinstance(instr, ir.Jump):
+            self.emit(f"j {instr.target}")
+        elif isinstance(instr, ir.Branch):
+            self._gen_branch(instr)
+        elif isinstance(instr, ir.SwitchJump):
+            self._gen_switch(instr)
+        elif isinstance(instr, ir.Call):
+            self._gen_call(instr)
+        elif isinstance(instr, ir.Return):
+            if instr.src is not None:
+                reg = self.allocation.reg_of.get(instr.src)
+                if reg is not None:
+                    self.emit(f"addiu $v0, {REG_NAMES[reg]}, 0")
+                else:
+                    self.emit(f"lw $v0, {self._spill_offset(instr.src)}({_SP})")
+            self.emit(f"j {self.epilogue_label}")
+        else:  # pragma: no cover
+            raise CompileError(f"codegen cannot handle {type(instr).__name__}")
+
+    def _gen_unop(self, instr: ir.UnOp) -> None:
+        src = self._src(instr.src, _SCRATCH_B)
+        reg, store = self._dst(instr.dst)
+        if instr.op == "neg":
+            self.emit(f"subu {reg}, {_ZERO}, {src}")
+        elif instr.op == "not":
+            self.emit(f"nor {reg}, {src}, {_ZERO}")
+        else:  # pragma: no cover
+            raise CompileError(f"unknown unary op {instr.op}")
+        self._finish_dst(reg, store)
+
+    def _gen_binop(self, instr: ir.BinOp) -> None:
+        op = instr.op
+        a = self._src(instr.a, _SCRATCH_A)
+        if isinstance(instr.b, ir.Imm):
+            self._gen_binop_imm(instr, a, instr.b.value)
+            return
+        b = self._src(instr.b, _SCRATCH_B)
+        reg, store = self._dst(instr.dst)
+        if op in _SIMPLE_RR:
+            if op in ("shl", "shr", "sar"):
+                self.emit(f"{_SIMPLE_RR[op]} {reg}, {a}, {b}")
+            else:
+                self.emit(f"{_SIMPLE_RR[op]} {reg}, {a}, {b}")
+        elif op == "mul":
+            self.emit(f"mult {a}, {b}")
+            self.emit(f"mflo {reg}")
+        elif op in ("div", "divu"):
+            self.emit(f"{'div' if op == 'div' else 'divu'} {a}, {b}")
+            self.emit(f"mflo {reg}")
+        elif op in ("rem", "remu"):
+            self.emit(f"{'div' if op == 'rem' else 'divu'} {a}, {b}")
+            self.emit(f"mfhi {reg}")
+        elif op == "eq":
+            self.emit(f"subu {_AT}, {a}, {b}")
+            self.emit(f"sltiu {reg}, {_AT}, 1")
+        elif op == "ne":
+            self.emit(f"subu {_AT}, {a}, {b}")
+            self.emit(f"sltu {reg}, {_ZERO}, {_AT}")
+        elif op == "lt":
+            self.emit(f"slt {reg}, {a}, {b}")
+        elif op == "ltu":
+            self.emit(f"sltu {reg}, {a}, {b}")
+        elif op == "gt":
+            self.emit(f"slt {reg}, {b}, {a}")
+        elif op == "gtu":
+            self.emit(f"sltu {reg}, {b}, {a}")
+        elif op == "le":
+            self.emit(f"slt {reg}, {b}, {a}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "leu":
+            self.emit(f"sltu {reg}, {b}, {a}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "ge":
+            self.emit(f"slt {reg}, {a}, {b}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "geu":
+            self.emit(f"sltu {reg}, {a}, {b}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        else:  # pragma: no cover
+            raise CompileError(f"unknown binary op {op}")
+        self._finish_dst(reg, store)
+
+    def _gen_binop_imm(self, instr: ir.BinOp, a: str, value: int) -> None:
+        op = instr.op
+        reg, store = self._dst(instr.dst)
+        if op == "sub":
+            self.emit(f"addiu {reg}, {a}, {-value}")
+        elif op in _SIMPLE_RI:
+            self.emit(f"{_SIMPLE_RI[op]} {reg}, {a}, {value}")
+        elif op == "eq":
+            if value == 0:
+                self.emit(f"sltiu {reg}, {a}, 1")
+            elif 0 < value <= 0xFFFF:
+                self.emit(f"xori {_AT}, {a}, {value}")
+                self.emit(f"sltiu {reg}, {_AT}, 1")
+            else:
+                self.emit(f"li {_AT}, {value & 0xFFFF_FFFF}")
+                self.emit(f"subu {_AT}, {a}, {_AT}")
+                self.emit(f"sltiu {reg}, {_AT}, 1")
+        elif op == "ne":
+            if value == 0:
+                self.emit(f"sltu {reg}, {_ZERO}, {a}")
+            elif 0 < value <= 0xFFFF:
+                self.emit(f"xori {_AT}, {a}, {value}")
+                self.emit(f"sltu {reg}, {_ZERO}, {_AT}")
+            else:
+                self.emit(f"li {_AT}, {value & 0xFFFF_FFFF}")
+                self.emit(f"subu {_AT}, {a}, {_AT}")
+                self.emit(f"sltu {reg}, {_ZERO}, {_AT}")
+        else:  # materialize and fall back to the register path
+            self.emit(f"li {_AT}, {value & 0xFFFF_FFFF}")
+            saved_b = instr.b
+            instr.b = instr.a  # placeholder to reuse register path
+            try:
+                self._gen_binop_rr_with(instr, a, _AT, reg)
+            finally:
+                instr.b = saved_b
+        self._finish_dst(reg, store)
+
+    def _gen_binop_rr_with(self, instr: ir.BinOp, a: str, b: str, reg: str) -> None:
+        """Register-register emission into *reg* (helper for the imm fallback)."""
+        op = instr.op
+        if op in _SIMPLE_RR:
+            self.emit(f"{_SIMPLE_RR[op]} {reg}, {a}, {b}")
+        elif op == "mul":
+            self.emit(f"mult {a}, {b}")
+            self.emit(f"mflo {reg}")
+        elif op in ("div", "divu"):
+            self.emit(f"{'div' if op == 'div' else 'divu'} {a}, {b}")
+            self.emit(f"mflo {reg}")
+        elif op in ("rem", "remu"):
+            self.emit(f"{'div' if op == 'rem' else 'divu'} {a}, {b}")
+            self.emit(f"mfhi {reg}")
+        elif op == "lt":
+            self.emit(f"slt {reg}, {a}, {b}")
+        elif op == "ltu":
+            self.emit(f"sltu {reg}, {a}, {b}")
+        elif op == "gt":
+            self.emit(f"slt {reg}, {b}, {a}")
+        elif op == "gtu":
+            self.emit(f"sltu {reg}, {b}, {a}")
+        elif op == "le":
+            self.emit(f"slt {reg}, {b}, {a}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "leu":
+            self.emit(f"sltu {reg}, {b}, {a}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "ge":
+            self.emit(f"slt {reg}, {a}, {b}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "geu":
+            self.emit(f"sltu {reg}, {a}, {b}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        else:  # pragma: no cover
+            raise CompileError(f"unknown binary op {op}")
+
+    _LOAD_MNEMONIC = {
+        (1, True): "lb",
+        (1, False): "lbu",
+        (2, True): "lh",
+        (2, False): "lhu",
+        (4, True): "lw",
+        (4, False): "lw",
+    }
+    _STORE_MNEMONIC = {1: "sb", 2: "sh", 4: "sw"}
+
+    def _gen_load(self, instr: ir.Load) -> None:
+        base = self._src(instr.base, _SCRATCH_A)
+        reg, store = self._dst(instr.dst)
+        mnemonic = self._LOAD_MNEMONIC[(instr.size, instr.signed)]
+        self.emit(f"{mnemonic} {reg}, {instr.offset}({base})")
+        self._finish_dst(reg, store)
+
+    def _gen_store(self, instr: ir.Store) -> None:
+        src = self._src(instr.src, _SCRATCH_A)
+        base = self._src(instr.base, _SCRATCH_B)
+        self.emit(f"{self._STORE_MNEMONIC[instr.size]} {src}, {instr.offset}({base})")
+
+    def _gen_branch(self, instr: ir.Branch) -> None:
+        op = instr.op
+        a = self._src(instr.a, _SCRATCH_A)
+        target = instr.target
+        if isinstance(instr.b, ir.Imm):
+            value = instr.b.value
+            if value == 0:
+                zero_forms = {
+                    "eq": f"beq {a}, {_ZERO}, {target}",
+                    "ne": f"bne {a}, {_ZERO}, {target}",
+                    "lt": f"bltz {a}, {target}",
+                    "ge": f"bgez {a}, {target}",
+                    "gt": f"bgtz {a}, {target}",
+                    "le": f"blez {a}, {target}",
+                    # unsigned comparisons against zero
+                    "ltu": None,  # never true
+                    "geu": f"j {target}",  # always true
+                    "gtu": f"bne {a}, {_ZERO}, {target}",
+                    "leu": f"beq {a}, {_ZERO}, {target}",
+                }
+                form = zero_forms[op]
+                if form is not None:
+                    self.emit(form)
+                return
+            self.emit(f"li {_AT}, {value & 0xFFFF_FFFF}")
+            b = _AT
+        else:
+            b = self._src(instr.b, _SCRATCH_B)
+        if op == "eq":
+            self.emit(f"beq {a}, {b}, {target}")
+        elif op == "ne":
+            self.emit(f"bne {a}, {b}, {target}")
+        elif op in ("lt", "ltu"):
+            cmp_instr = "slt" if op == "lt" else "sltu"
+            self.emit(f"{cmp_instr} {_AT}, {a}, {b}")
+            self.emit(f"bne {_AT}, {_ZERO}, {target}")
+        elif op in ("ge", "geu"):
+            cmp_instr = "slt" if op == "ge" else "sltu"
+            self.emit(f"{cmp_instr} {_AT}, {a}, {b}")
+            self.emit(f"beq {_AT}, {_ZERO}, {target}")
+        elif op in ("gt", "gtu"):
+            cmp_instr = "slt" if op == "gt" else "sltu"
+            self.emit(f"{cmp_instr} {_AT}, {b}, {a}")
+            self.emit(f"bne {_AT}, {_ZERO}, {target}")
+        elif op in ("le", "leu"):
+            cmp_instr = "slt" if op == "le" else "sltu"
+            self.emit(f"{cmp_instr} {_AT}, {b}, {a}")
+            self.emit(f"beq {_AT}, {_ZERO}, {target}")
+        else:  # pragma: no cover
+            raise CompileError(f"unknown branch op {op}")
+
+    def _gen_switch(self, instr: ir.SwitchJump) -> None:
+        index = self._src(instr.index, _SCRATCH_A)
+        self.emit(f"sll {_AT}, {index}, 2")
+        self.emit(f"la {_SCRATCH_B}, {instr.table_name}")
+        self.emit(f"addu {_SCRATCH_B}, {_SCRATCH_B}, {_AT}")
+        self.emit(f"lw {_SCRATCH_B}, 0({_SCRATCH_B})")
+        self.emit(f"jr {_SCRATCH_B}")
+
+    def _gen_call(self, instr: ir.Call) -> None:
+        for index, arg in enumerate(instr.args):
+            reg = self.allocation.reg_of.get(arg)
+            if reg is not None:
+                self.emit(f"addiu {_ARG_REGS[index]}, {REG_NAMES[reg]}, 0")
+            else:
+                self.emit(f"lw {_ARG_REGS[index]}, {self._spill_offset(arg)}({_SP})")
+        self.emit(f"jal {instr.name}")
+        if instr.dst is not None:
+            reg = self.allocation.reg_of.get(instr.dst)
+            if reg is not None:
+                self.emit(f"addiu {REG_NAMES[reg]}, $v0, 0")
+            elif instr.dst in self.allocation.spill_of:
+                self.emit(f"sw $v0, {self._spill_offset(instr.dst)}({_SP})")
+            # else: result unused and register never allocated
+
+
+def generate_assembly(
+    module: ir.Module,
+    jump_tables: dict[str, list[tuple[str, list[str]]]],
+) -> str:
+    """Generate a complete assembly file (text + data + jump tables)."""
+    lines: list[str] = [".text"]
+    lines.append("_start:")
+    lines.append("    jal main")
+    lines.append("    break")
+
+    for func in module.functions.values():
+        allocation = allocate(func)
+        codegen = FunctionCodegen(func, allocation, jump_tables.get(func.name, []))
+        lines.extend(codegen.generate())
+
+    data_lines: list[str] = [".data"]
+    for var in module.globals.values():
+        if var.element_size == 4:
+            data_lines.append(".align 2")
+            directive = ".word"
+        elif var.element_size == 2:
+            data_lines.append(".align 1")
+            directive = ".half"
+        else:
+            directive = ".byte"
+        values = ", ".join(str(v & ((1 << (8 * var.element_size)) - 1)) for v in var.init_values)
+        data_lines.append(f"{var.name}: {directive} {values}")
+    for func_name, tables in jump_tables.items():
+        for table_name, labels in tables:
+            data_lines.append(".align 2")
+            data_lines.append(f"{table_name}: .word {', '.join(labels)}")
+    lines.extend(data_lines)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,119 @@
+"""Compile-time evaluation of constant expressions.
+
+Used for array sizes, case labels and global initializers.  Arithmetic is
+performed in 32-bit two's complement, matching the target machine.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.ctypes import IntType
+from repro.errors import CompileError
+from repro.utils import to_signed32, to_unsigned32
+
+
+def eval_const_expr(expr: ast.Expr) -> int:
+    """Evaluate *expr* to a signed 32-bit Python int, or raise CompileError."""
+    if isinstance(expr, ast.NumberExpr):
+        return to_signed32(expr.value)
+    if isinstance(expr, ast.UnaryExpr):
+        operand = eval_const_expr(expr.operand)
+        if expr.op == "-":
+            return to_signed32(-operand)
+        if expr.op == "~":
+            return to_signed32(~operand)
+        if expr.op == "!":
+            return int(operand == 0)
+        raise CompileError(f"operator {expr.op!r} not allowed in constant expression", expr.line)
+    if isinstance(expr, ast.BinaryExpr):
+        left = eval_const_expr(expr.left)
+        right = eval_const_expr(expr.right)
+        return to_signed32(fold_binary(expr.op, left, right, expr.line))
+    if isinstance(expr, ast.CastExpr):
+        value = eval_const_expr(expr.operand)
+        if isinstance(expr.ctype, IntType):
+            return expr.ctype.wrap(value)
+        return value
+    if isinstance(expr, ast.ConditionalExpr):
+        return (
+            eval_const_expr(expr.then_expr)
+            if eval_const_expr(expr.cond)
+            else eval_const_expr(expr.else_expr)
+        )
+    raise CompileError("expression is not constant", expr.line)
+
+
+def fold_binary(op: str, left: int, right: int, line: int = 0) -> int:
+    """Fold a binary operation on signed 32-bit ints (C semantics).
+
+    Shared by the constant evaluator, the compiler's constant-folding pass
+    and the decompiler's constant propagation, so all three always agree
+    with the simulator.
+    """
+    if op == "+":
+        return to_signed32(left + right)
+    if op == "-":
+        return to_signed32(left - right)
+    if op == "*":
+        return to_signed32(left * right)
+    if op == "/":
+        if right == 0:
+            raise CompileError("division by zero in constant expression", line)
+        return to_signed32(int(left / right))  # C truncates toward zero
+    if op == "%":
+        if right == 0:
+            raise CompileError("modulo by zero in constant expression", line)
+        quotient = int(left / right)
+        return to_signed32(left - quotient * right)
+    if op == "<<":
+        return to_signed32(left << (right & 31))
+    if op == ">>":
+        # signed arithmetic shift on the signed interpretation
+        return to_signed32(left >> (right & 31))
+    if op == "&":
+        return to_signed32(left & right)
+    if op == "|":
+        return to_signed32(left | right)
+    if op == "^":
+        return to_signed32(left ^ right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    raise CompileError(f"operator {op!r} not allowed in constant expression", line)
+
+
+def fold_binary_unsigned(op: str, left: int, right: int, line: int = 0) -> int:
+    """Fold an *unsigned* comparison/shift/divide (values taken mod 2**32)."""
+    lhs, rhs = to_unsigned32(left), to_unsigned32(right)
+    if op == "/":
+        if rhs == 0:
+            raise CompileError("division by zero in constant expression", line)
+        return to_signed32(lhs // rhs)
+    if op == "%":
+        if rhs == 0:
+            raise CompileError("modulo by zero in constant expression", line)
+        return to_signed32(lhs % rhs)
+    if op == ">>":
+        return to_signed32(lhs >> (rhs & 31))
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    return fold_binary(op, left, right, line)

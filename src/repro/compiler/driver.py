@@ -1,0 +1,133 @@
+"""Compiler driver: source -> (optimized IR) -> assembly -> executable.
+
+Optimization levels mirror the gcc levels the paper sweeps (section 4):
+
+====== ==========================================================
+Level  Passes
+====== ==========================================================
+-O0    none (all locals in stack slots, naive code)
+-O1    mem2reg, constant folding/propagation, copy propagation,
+       DCE, control-flow cleanup, immediate folding
+-O2    -O1 + local CSE, loop-invariant code motion, strength
+       reduction (constant multiply -> shift/add; the input to the
+       decompiler's strength *promotion*)
+-O3    -O2 + loop unrolling (the input to loop *rerolling*)
+====== ==========================================================
+
+Individual passes can be toggled through :class:`CompilerOptions` for the
+ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.binary.image import Executable
+from repro.compiler import ir
+from repro.compiler.codegen import generate_assembly
+from repro.compiler.irgen import generate_ir
+from repro.compiler.parser import parse
+from repro.compiler.passes import (
+    eliminate_dead_code,
+    fold_constants,
+    fold_immediates,
+    hoist_loop_invariants,
+    local_cse,
+    promote_slots,
+    propagate_copies,
+    reduce_strength,
+    simplify_control_flow,
+    unroll_loops,
+)
+from repro.isa.assembler import assemble
+
+_MAX_FIXPOINT_ROUNDS = 12
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Per-compilation switches (one gcc-style level plus ablation toggles)."""
+
+    opt_level: int = 1
+    mem2reg: bool = True
+    fold: bool = True
+    cse: bool = False
+    licm: bool = False
+    strength_reduce: bool = False
+    unroll: bool = False
+    unroll_factor: int = 4
+
+    @classmethod
+    def from_level(cls, level: int, **overrides) -> "CompilerOptions":
+        if level <= 0:
+            options = cls(opt_level=0, mem2reg=False, fold=False)
+        elif level == 1:
+            options = cls(opt_level=1)
+        elif level == 2:
+            options = cls(opt_level=2, cse=True, licm=True, strength_reduce=True)
+        else:
+            options = cls(
+                opt_level=3, cse=True, licm=True, strength_reduce=True, unroll=True
+            )
+        if overrides:
+            options = replace(options, **overrides)
+        return options
+
+
+def _run_fixpoint(func: ir.Function) -> None:
+    for _ in range(_MAX_FIXPOINT_ROUNDS):
+        changed = False
+        changed |= fold_constants(func)
+        changed |= propagate_copies(func)
+        changed |= eliminate_dead_code(func)
+        changed |= simplify_control_flow(func)
+        if not changed:
+            break
+
+
+def optimize_module(module: ir.Module, options: CompilerOptions) -> None:
+    """Run the configured pass pipeline over every function in place."""
+    for func in module.functions.values():
+        if options.mem2reg:
+            promote_slots(func)
+        if options.fold:
+            _run_fixpoint(func)
+        if options.licm:
+            hoist_loop_invariants(func)
+            _run_fixpoint(func)
+        if options.cse:
+            local_cse(func)
+            _run_fixpoint(func)
+        if options.strength_reduce:
+            reduce_strength(func)
+            _run_fixpoint(func)
+        if options.fold:
+            fold_immediates(func)
+            eliminate_dead_code(func)
+
+
+def compile_to_asm(source: str, options: CompilerOptions | None = None) -> str:
+    """Compile mini-C *source* to MIPS assembly text."""
+    options = options or CompilerOptions()
+    unit = parse(source)
+    if options.unroll:
+        unroll_loops(unit, options.unroll_factor)
+    module, jump_tables = generate_ir(unit)
+    optimize_module(module, options)
+    return generate_assembly(module, jump_tables)
+
+
+def compile_source(
+    source: str,
+    options: CompilerOptions | None = None,
+    opt_level: int | None = None,
+) -> Executable:
+    """Compile mini-C *source* all the way to an executable image.
+
+    Either pass a full :class:`CompilerOptions`, or just ``opt_level`` for
+    the standard gcc-style levels.
+    """
+    if options is None:
+        options = CompilerOptions.from_level(opt_level if opt_level is not None else 1)
+    asm = compile_to_asm(source, options)
+    return assemble(asm)

@@ -1,0 +1,170 @@
+"""Tokenizer for the mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "unsigned", "signed", "short", "char", "void", "long",
+    "if", "else", "while", "do", "for", "switch", "case", "default",
+    "break", "continue", "return", "const", "static",
+}
+
+# Longest first so maximal munch works with simple ordered matching.
+PUNCTUATION = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+class TokenKind(Enum):
+    KEYWORD = auto()
+    IDENT = auto()
+    NUMBER = auto()
+    CHAR = auto()
+    STRING = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: int = 0  # numeric value for NUMBER/CHAR tokens
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.line}"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert *source* into a token list terminated by an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(message, line, col)
+
+    while index < length:
+        ch = source[index]
+
+        # whitespace
+        if ch == "\n":
+            line += 1
+            col = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            col += 1
+            continue
+
+        # comments
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            index = end + 2
+            continue
+
+        start_line, start_col = line, col
+
+        # numbers
+        if ch.isdigit():
+            end = index
+            if source.startswith(("0x", "0X"), index):
+                end = index + 2
+                while end < length and source[end] in "0123456789abcdefABCDEF":
+                    end += 1
+                text = source[index:end]
+                value = int(text, 16)
+            else:
+                while end < length and source[end].isdigit():
+                    end += 1
+                text = source[index:end]
+                value = int(text, 10)
+            # accept (and ignore) C suffixes so kernels can say 1UL etc.
+            while end < length and source[end] in "uUlL":
+                end += 1
+            text = source[index:end]
+            tokens.append(Token(TokenKind.NUMBER, text, start_line, start_col, value))
+            col += end - index
+            index = end
+            continue
+
+        # character literals
+        if ch == "'":
+            end = index + 1
+            body = ""
+            while end < length and source[end] != "'":
+                if source[end] == "\\":
+                    body += source[end : end + 2]
+                    end += 2
+                else:
+                    body += source[end]
+                    end += 1
+            if end >= length:
+                raise error("unterminated character literal")
+            decoded = body.encode().decode("unicode_escape")
+            if len(decoded) != 1:
+                raise error(f"bad character literal '{body}'")
+            tokens.append(
+                Token(TokenKind.CHAR, source[index : end + 1], start_line, start_col, ord(decoded))
+            )
+            col += end + 1 - index
+            index = end + 1
+            continue
+
+        # identifiers / keywords
+        if _is_ident_start(ch):
+            end = index
+            while end < length and _is_ident_char(source[end]):
+                end += 1
+            text = source[index:end]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += end - index
+            index = end
+            continue
+
+        # punctuation (maximal munch)
+        for punct in PUNCTUATION:
+            if source.startswith(punct, index):
+                tokens.append(Token(TokenKind.PUNCT, punct, start_line, start_col))
+                index += len(punct)
+                col += len(punct)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,118 @@
+"""Control-flow cleanup: unreachable code, jump-to-next, unused labels.
+
+Runs after constant folding (which may have turned conditional branches
+into unconditional jumps) and keeps the emitted binary free of dead blocks
+-- important because dead code would distort the decompiler's size metrics.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+
+
+def simplify_control_flow(func: ir.Function) -> bool:
+    changed = False
+    while True:
+        round_changed = False
+        round_changed |= _remove_unreachable(func)
+        round_changed |= _remove_jump_to_next(func)
+        round_changed |= _remove_unused_labels(func)
+        round_changed |= _thread_jump_chains(func)
+        if not round_changed:
+            break
+        changed = True
+    return changed
+
+
+def _remove_unreachable(func: ir.Function) -> bool:
+    blocks = ir.build_cfg(func)
+    if not blocks:
+        return False
+    reachable: set[int] = set()
+    stack = [0]
+    while stack:
+        index = stack.pop()
+        if index in reachable:
+            continue
+        reachable.add(index)
+        stack.extend(blocks[index].succs)
+    if len(reachable) == len(blocks):
+        return False
+    kept = [block for index, block in enumerate(blocks) if index in reachable]
+    func.instrs = ir.flatten_cfg(kept)
+    return True
+
+
+def _remove_jump_to_next(func: ir.Function) -> bool:
+    changed = False
+    new_instrs: list[ir.Instr] = []
+    instrs = func.instrs
+    for index, instr in enumerate(instrs):
+        if isinstance(instr, ir.Jump):
+            # find the next label, skipping nothing (jump must be block end)
+            next_index = index + 1
+            if next_index < len(instrs) and isinstance(instrs[next_index], ir.Label):
+                if instrs[next_index].name == instr.target:
+                    changed = True
+                    continue
+        new_instrs.append(instr)
+    func.instrs = new_instrs
+    return changed
+
+
+def _remove_unused_labels(func: ir.Function) -> bool:
+    targets: set[str] = set()
+    for instr in func.instrs:
+        if isinstance(instr, ir.Jump):
+            targets.add(instr.target)
+        elif isinstance(instr, ir.Branch):
+            targets.add(instr.target)
+        elif isinstance(instr, ir.SwitchJump):
+            targets.update(instr.labels)
+    new_instrs = [
+        instr
+        for instr in func.instrs
+        if not (isinstance(instr, ir.Label) and instr.name not in targets)
+    ]
+    if len(new_instrs) == len(func.instrs):
+        return False
+    func.instrs = new_instrs
+    return True
+
+
+def _thread_jump_chains(func: ir.Function) -> bool:
+    """Retarget jumps/branches that point at a label immediately followed by
+    an unconditional jump (empty forwarding blocks)."""
+    forward: dict[str, str] = {}
+    instrs = func.instrs
+    for index, instr in enumerate(instrs):
+        if isinstance(instr, ir.Label) and index + 1 < len(instrs):
+            follower = instrs[index + 1]
+            if isinstance(follower, ir.Jump) and follower.target != instr.name:
+                forward[instr.name] = follower.target
+
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in forward and name not in seen:
+            seen.add(name)
+            name = forward[name]
+        return name
+
+    changed = False
+    for instr in instrs:
+        if isinstance(instr, ir.Jump):
+            target = resolve(instr.target)
+            if target != instr.target:
+                instr.target = target
+                changed = True
+        elif isinstance(instr, ir.Branch):
+            target = resolve(instr.target)
+            if target != instr.target:
+                instr.target = target
+                changed = True
+        elif isinstance(instr, ir.SwitchJump):
+            new_labels = [resolve(name) for name in instr.labels]
+            if new_labels != instr.labels:
+                instr.labels = new_labels
+                changed = True
+    return changed

@@ -1,0 +1,159 @@
+"""Constant folding/propagation and block-local copy propagation.
+
+Constants are propagated through *single-definition* virtual registers
+(expression temporaries -- the overwhelming majority after lowering), which
+is sound regardless of control flow.  Multi-definition registers (promoted
+variables) are folded only when every reaching definition agrees, which we
+approximate conservatively by not folding them at all; the combination with
+copy propagation and DCE still converges to clean code in practice.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.consteval import fold_binary, fold_binary_unsigned
+from repro.errors import CompileError
+from repro.utils import to_signed32
+
+#: IR ops that fold with signed semantics via consteval.fold_binary
+_SIGNED_FOLD = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "rem": "%",
+    "and": "&", "or": "|", "xor": "^",
+    "shl": "<<", "sar": ">>",
+    "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+}
+_UNSIGNED_FOLD = {
+    "divu": "/", "remu": "%", "shr": ">>",
+    "ltu": "<", "leu": "<=", "gtu": ">", "geu": ">=",
+}
+
+
+def fold_ir_binop(op: str, left: int, right: int) -> int | None:
+    """Evaluate an IR binary op on signed-32 ints; None if undefined (div 0)."""
+    try:
+        if op in _SIGNED_FOLD:
+            return fold_binary(_SIGNED_FOLD[op], left, right)
+        if op in _UNSIGNED_FOLD:
+            return fold_binary_unsigned(_UNSIGNED_FOLD[op], left, right)
+    except CompileError:
+        return None
+    raise ValueError(f"unknown IR op {op!r}")
+
+
+def _single_def_consts(func: ir.Function) -> dict[ir.VReg, int]:
+    """vregs defined exactly once, by a Const instruction."""
+    def_counts: dict[ir.VReg, int] = {}
+    const_defs: dict[ir.VReg, int] = {}
+    for instr in func.instrs:
+        for reg in instr.defs():
+            def_counts[reg] = def_counts.get(reg, 0) + 1
+            if isinstance(instr, ir.Const):
+                const_defs[reg] = instr.value
+    return {
+        reg: value for reg, value in const_defs.items() if def_counts.get(reg) == 1
+    }
+
+
+def _value_of(operand: ir.Operand, consts: dict[ir.VReg, int]) -> int | None:
+    if isinstance(operand, ir.Imm):
+        return to_signed32(operand.value)
+    const = consts.get(operand)
+    return to_signed32(const) if const is not None else None
+
+
+def fold_constants(func: ir.Function) -> bool:
+    """One round of folding; returns True if anything changed."""
+    consts = _single_def_consts(func)
+    changed = False
+    new_instrs: list[ir.Instr] = []
+
+    for instr in func.instrs:
+        replacement: ir.Instr | None = None
+        if isinstance(instr, ir.BinOp):
+            a_val = _value_of(instr.a, consts)
+            b_val = _value_of(instr.b, consts)
+            if a_val is not None and b_val is not None:
+                folded = fold_ir_binop(instr.op, a_val, b_val)
+                if folded is not None:
+                    replacement = ir.Const(instr.dst, folded & 0xFFFF_FFFF)
+            if replacement is None:
+                replacement = _algebraic(instr, a_val, b_val)
+        elif isinstance(instr, ir.UnOp):
+            src_val = _value_of(instr.src, consts)
+            if src_val is not None:
+                value = -src_val if instr.op == "neg" else ~src_val
+                replacement = ir.Const(instr.dst, value & 0xFFFF_FFFF)
+        elif isinstance(instr, ir.Branch):
+            a_val = _value_of(instr.a, consts)
+            b_val = _value_of(instr.b, consts)
+            if a_val is not None and b_val is not None:
+                taken = fold_ir_binop(instr.op, a_val, b_val)
+                replacement = ir.Jump(instr.target) if taken else _NOP
+        if replacement is _NOP:
+            changed = True
+            continue
+        if replacement is not None:
+            new_instrs.append(replacement)
+            changed = True
+        else:
+            new_instrs.append(instr)
+    func.instrs = new_instrs
+    return changed
+
+
+_NOP = object()  # sentinel meaning "delete this instruction"
+
+
+def _algebraic(
+    instr: ir.BinOp, a_val: int | None, b_val: int | None
+) -> ir.Instr | None:
+    """Identity simplifications (x+0, x*1, x*0, x&0, x|0, x^0, shifts by 0)."""
+    op = instr.op
+    if b_val == 0:
+        if op in ("add", "sub", "or", "xor", "shl", "shr", "sar"):
+            return ir.Copy(instr.dst, instr.a)
+        if op in ("mul", "and"):
+            return ir.Const(instr.dst, 0)
+    if b_val == 1 and op in ("mul", "div", "divu"):
+        return ir.Copy(instr.dst, instr.a)
+    if a_val == 0:
+        if op in ("add", "or", "xor") and isinstance(instr.b, ir.VReg):
+            return ir.Copy(instr.dst, instr.b)
+        if op in ("mul", "and"):
+            return ir.Const(instr.dst, 0)
+    if a_val == 1 and op == "mul" and isinstance(instr.b, ir.VReg):
+        return ir.Copy(instr.dst, instr.b)
+    return None
+
+
+def propagate_copies(func: ir.Function) -> bool:
+    """Forward copy propagation within basic blocks.
+
+    Within a block, after ``dst = src``, uses of ``dst`` become ``src`` until
+    either register is redefined.  Block-local operation keeps it sound for
+    multi-definition registers.
+    """
+    changed = False
+    blocks = ir.build_cfg(func)
+    for block in blocks:
+        available: dict[ir.VReg, ir.VReg] = {}
+        for instr in block.instrs:
+            mapping = {
+                reg: available[reg]
+                for reg in instr.uses()
+                if reg in available
+            }
+            if mapping:
+                instr.replace_uses(dict(mapping))
+                changed = True
+            defs = instr.defs()
+            for reg in defs:
+                available.pop(reg, None)
+                # invalidate copies whose source was overwritten
+                stale = [dst for dst, src in available.items() if src == reg]
+                for dst in stale:
+                    del available[dst]
+            if isinstance(instr, ir.Copy) and instr.dst != instr.src:
+                available[instr.dst] = instr.src
+    func.instrs = ir.flatten_cfg(blocks)
+    return changed

@@ -1,0 +1,76 @@
+"""Local common-subexpression elimination (block-scoped value numbering).
+
+Pure computations with identical operands inside a basic block are reused
+via a Copy.  Loads are *not* CSE'd across stores or calls.  Enabled at -O2.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+
+
+def _operand_key(operand: ir.Operand) -> tuple:
+    if isinstance(operand, ir.Imm):
+        return ("imm", operand.value)
+    return ("reg", operand.id)
+
+
+def local_cse(func: ir.Function) -> bool:
+    changed = False
+    blocks = ir.build_cfg(func)
+    for block in blocks:
+        available: dict[tuple, ir.VReg] = {}
+        loads: dict[tuple, ir.VReg] = {}
+        new_instrs: list[ir.Instr] = []
+        for instr in block.instrs:
+            key = None
+            table = available
+            if isinstance(instr, ir.BinOp):
+                key = ("bin", instr.op, _operand_key(instr.a), _operand_key(instr.b))
+                if instr.op in ir.COMMUTATIVE_OPS:
+                    a_key, b_key = _operand_key(instr.a), _operand_key(instr.b)
+                    key = ("bin", instr.op) + tuple(sorted((a_key, b_key)))
+            elif isinstance(instr, ir.UnOp):
+                key = ("un", instr.op, _operand_key(instr.src))
+            elif isinstance(instr, ir.Const):
+                key = ("const", instr.value)
+            elif isinstance(instr, ir.LoadAddr):
+                key = ("addr", instr.symbol, instr.offset)
+            elif isinstance(instr, ir.SlotAddr):
+                key = ("slotaddr", instr.slot.index)
+            elif isinstance(instr, ir.Load):
+                key = ("load", _operand_key(instr.base), instr.offset, instr.size, instr.signed)
+                table = loads
+            elif isinstance(instr, (ir.Store, ir.Call)):
+                loads.clear()  # memory may have changed
+
+            if key is not None:
+                existing = table.get(key)
+                if existing is not None:
+                    new_instrs.append(ir.Copy(instr.defs()[0], existing))
+                    changed = True
+                    continue
+                table[key] = instr.defs()[0]
+
+            # any redefinition invalidates value-numbering entries using it
+            for reg in instr.defs():
+                for mapping in (available, loads):
+                    stale = [
+                        k for k, v in mapping.items()
+                        if v == reg or _uses_reg(k, reg.id)
+                    ]
+                    for k in stale:
+                        del mapping[k]
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    func.instrs = ir.flatten_cfg(blocks)
+    return changed
+
+
+def _uses_reg(key, reg_id: int) -> bool:
+    """True if the value-number key mentions operand ("reg", reg_id)."""
+    if isinstance(key, tuple):
+        if len(key) == 2 and key[0] == "reg" and key[1] == reg_id:
+            return True
+        return any(_uses_reg(part, reg_id) for part in key)
+    return False

@@ -1,0 +1,61 @@
+"""Dead-code elimination: unused pure instructions and dead slot stores."""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+
+#: instruction types with no side effects beyond defining their destination
+_PURE = (
+    ir.Const,
+    ir.Copy,
+    ir.UnOp,
+    ir.BinOp,
+    ir.LoadAddr,
+    ir.SlotAddr,
+    ir.LoadSlot,
+    ir.Load,  # no volatile semantics in mini-C
+)
+
+
+def eliminate_dead_code(func: ir.Function) -> bool:
+    changed = False
+    while True:
+        used: set[ir.VReg] = set()
+        for instr in func.instrs:
+            used.update(instr.uses())
+        loaded_slots = {
+            instr.slot.index
+            for instr in func.instrs
+            if isinstance(instr, ir.LoadSlot)
+        }
+        address_taken_slots = {
+            slot.index for slot in func.slots if slot.address_taken or slot.is_array
+        }
+        new_instrs: list[ir.Instr] = []
+        removed = False
+        for instr in func.instrs:
+            if isinstance(instr, _PURE) and instr.defs() and not any(
+                reg in used for reg in instr.defs()
+            ):
+                removed = True
+                continue
+            if (
+                isinstance(instr, ir.StoreSlot)
+                and instr.slot.index not in loaded_slots
+                and instr.slot.index not in address_taken_slots
+            ):
+                removed = True
+                continue
+            new_instrs.append(instr)
+        func.instrs = new_instrs
+        if not removed:
+            break
+        changed = True
+    # drop slots that are no longer referenced at all
+    referenced: set[int] = set()
+    for instr in func.instrs:
+        if isinstance(instr, (ir.LoadSlot, ir.StoreSlot, ir.SlotAddr)):
+            referenced.add(instr.slot.index)
+    before = len(func.slots)
+    func.slots = [slot for slot in func.slots if slot.index in referenced]
+    return changed or len(func.slots) != before

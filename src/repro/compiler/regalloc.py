@@ -1,0 +1,190 @@
+"""Linear-scan register allocation over virtual registers.
+
+Liveness is computed block-wise (iterative backward dataflow), then each
+virtual register gets one conservative live interval over the linearized
+instruction order.  Intervals crossing a call site must receive a
+callee-saved register ($s0-$s7) or spill; others prefer caller-saved
+($t0-$t7).  $t8/$t9 are reserved as spill scratch, $at as branch-compare
+scratch, so the allocator never touches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ir
+from repro.isa.registers import Reg
+
+#: allocatable caller-saved registers (jal-clobbered)
+T_REGS = [int(r) for r in (Reg.T0, Reg.T1, Reg.T2, Reg.T3, Reg.T4, Reg.T5, Reg.T6, Reg.T7)]
+#: allocatable callee-saved registers
+S_REGS = [int(r) for r in (Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6, Reg.S7)]
+
+
+@dataclass
+class Interval:
+    vreg: ir.VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    #: vreg -> physical register number
+    reg_of: dict[ir.VReg, int] = field(default_factory=dict)
+    #: vreg -> spill slot ordinal (codegen assigns frame offsets)
+    spill_of: dict[ir.VReg, int] = field(default_factory=dict)
+    used_callee_saved: list[int] = field(default_factory=list)
+
+    @property
+    def spill_count(self) -> int:
+        return len(set(self.spill_of.values()))
+
+
+def compute_block_liveness(
+    blocks: list[ir.Block],
+) -> tuple[list[set[ir.VReg]], list[set[ir.VReg]]]:
+    """Iterative live-in/live-out per block."""
+    count = len(blocks)
+    gen: list[set[ir.VReg]] = []
+    kill: list[set[ir.VReg]] = []
+    for block in blocks:
+        use_set: set[ir.VReg] = set()
+        def_set: set[ir.VReg] = set()
+        for instr in block.instrs:
+            for reg in instr.uses():
+                if reg not in def_set:
+                    use_set.add(reg)
+            def_set.update(instr.defs())
+        gen.append(use_set)
+        kill.append(def_set)
+
+    live_in: list[set[ir.VReg]] = [set() for _ in range(count)]
+    live_out: list[set[ir.VReg]] = [set() for _ in range(count)]
+    changed = True
+    while changed:
+        changed = False
+        for index in range(count - 1, -1, -1):
+            out: set[ir.VReg] = set()
+            for succ in blocks[index].succs:
+                out |= live_in[succ]
+            new_in = gen[index] | (out - kill[index])
+            if out != live_out[index] or new_in != live_in[index]:
+                live_out[index] = out
+                live_in[index] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def build_intervals(func: ir.Function) -> tuple[list[Interval], list[int]]:
+    """Conservative live intervals over the linear instruction order."""
+    blocks = ir.build_cfg(func)
+    live_in, live_out = compute_block_liveness(blocks)
+
+    starts: dict[ir.VReg, int] = {}
+    ends: dict[ir.VReg, int] = {}
+    call_sites: list[int] = []
+
+    def touch(reg: ir.VReg, index: int) -> None:
+        if reg not in starts or index < starts[reg]:
+            starts[reg] = index
+        if reg not in ends or index > ends[reg]:
+            ends[reg] = index
+
+    # parameters are defined by the prologue: pin their interval to entry
+    for param in func.params:
+        touch(param, 0)
+
+    index = 0
+    for block_index, block in enumerate(blocks):
+        block_start = index
+        block_end = index + max(0, len(block.instrs) - 1)
+        for reg in live_in[block_index]:
+            touch(reg, block_start)
+        for instr in block.instrs:
+            if isinstance(instr, ir.Call):
+                call_sites.append(index)
+            for reg in instr.uses():
+                touch(reg, index)
+            for reg in instr.defs():
+                touch(reg, index)
+            index += 1
+        for reg in live_out[block_index]:
+            touch(reg, block_end)
+
+    intervals = []
+    for reg, start in starts.items():
+        end = ends[reg]
+        crosses = any(start < site < end for site in call_sites)
+        intervals.append(Interval(reg, start, end, crosses))
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, call_sites
+
+
+def allocate(func: ir.Function) -> Allocation:
+    """Run linear scan; every vreg ends up in reg_of or spill_of."""
+    intervals, _ = build_intervals(func)
+    allocation = Allocation()
+
+    free_t = list(T_REGS)
+    free_s = list(S_REGS)
+    active: list[Interval] = []
+    used_s: set[int] = set()
+    next_spill = 0
+
+    def expire(current_start: int) -> None:
+        nonlocal active
+        still_active = []
+        for interval in active:
+            if interval.end < current_start:
+                reg = allocation.reg_of[interval.vreg]
+                if reg in S_REGS:
+                    free_s.append(reg)
+                else:
+                    free_t.append(reg)
+            else:
+                still_active.append(interval)
+        active = still_active
+
+    for interval in intervals:
+        expire(interval.start)
+        reg: int | None = None
+        if interval.crosses_call:
+            if free_s:
+                reg = free_s.pop(0)
+                used_s.add(reg)
+        else:
+            if free_t:
+                reg = free_t.pop(0)
+            elif free_s:
+                reg = free_s.pop(0)
+                used_s.add(reg)
+        if reg is None:
+            # classic linear-scan heuristic: evict the compatible active
+            # interval that ends furthest away if it outlasts the current one
+            candidates = [
+                other
+                for other in active
+                if other.end > interval.end
+                and (interval.crosses_call <= (allocation.reg_of[other.vreg] in S_REGS))
+            ]
+            if candidates:
+                victim = max(candidates, key=lambda iv: iv.end)
+                reg = allocation.reg_of.pop(victim.vreg)
+                allocation.spill_of[victim.vreg] = next_spill
+                next_spill += 1
+                active.remove(victim)
+                allocation.reg_of[interval.vreg] = reg
+                active.append(interval)
+            else:
+                allocation.spill_of[interval.vreg] = next_spill
+                next_spill += 1
+        else:
+            allocation.reg_of[interval.vreg] = reg
+            active.append(interval)
+
+    allocation.used_callee_saved = sorted(used_s)
+    return allocation

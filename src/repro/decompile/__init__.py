@@ -1,0 +1,49 @@
+"""Decompilation: software binary -> annotated CDFG suitable for synthesis.
+
+This package implements the paper's core contribution (sections 2 and 3 of
+Stitt & Vahid, DATE'05):
+
+1. **binary parsing** (:mod:`lift`): machine words -> instruction-set
+   independent micro-operations,
+2. **CDFG creation** (:mod:`cfg`, :mod:`cdfg`): basic blocks, edges, and
+   per-block data-flow graphs,
+3. **control structure recovery** (:mod:`structure`): loops and if
+   statements via dominator analysis,
+4. **instruction-set overhead removal** (:mod:`passes`): constant
+   propagation (register-move idioms), operator size reduction, stack
+   operation removal,
+5. **undoing compiler optimizations** (:mod:`passes`): strength promotion
+   (shift/add series -> multiplication) and loop rerolling,
+6. **alias analysis** (:mod:`alias`) feeding the partitioner's second step.
+
+CDFG recovery *fails by design* on register-indirect jumps (switch jump
+tables), raising :class:`~repro.errors.IndirectJumpError` -- the exact
+failure mode the paper reports for two EEMBC benchmarks.
+"""
+
+from repro.decompile.decompiler import (
+    DecompilationOptions,
+    DecompiledFunction,
+    DecompiledProgram,
+    Decompiler,
+    decompile,
+)
+from repro.decompile.cfg import ControlFlowGraph, MicroBlock, build_cfg
+from repro.decompile.lift import lift_instruction, lift_function
+from repro.decompile.microop import MicroOp, Opcode, Operand
+
+__all__ = [
+    "ControlFlowGraph",
+    "DecompilationOptions",
+    "DecompiledFunction",
+    "DecompiledProgram",
+    "Decompiler",
+    "MicroBlock",
+    "MicroOp",
+    "Opcode",
+    "Operand",
+    "build_cfg",
+    "decompile",
+    "lift_function",
+    "lift_instruction",
+]

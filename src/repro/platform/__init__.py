@@ -1,0 +1,34 @@
+"""The hypothetical microprocessor/FPGA platform model.
+
+The paper evaluates on "a hypothetical platform consisting of a MIPS
+microprocessor and Xilinx Virtex II FPGA", swept over CPU clocks of 40, 200
+and 400 MHz.  This package models exactly that: CPU clock and power, FPGA
+power, kernel invocation overhead, and the speedup/energy arithmetic that
+turns simulator cycle counts plus synthesized kernels into the paper's
+headline metrics.
+"""
+
+from repro.platform.platform import (
+    MIPS_200MHZ,
+    MIPS_400MHZ,
+    MIPS_40MHZ,
+    Platform,
+)
+from repro.platform.power import CpuPowerModel, FpgaPowerModel
+from repro.platform.metrics import (
+    ApplicationMetrics,
+    KernelMetrics,
+    evaluate_partition,
+)
+
+__all__ = [
+    "ApplicationMetrics",
+    "CpuPowerModel",
+    "FpgaPowerModel",
+    "KernelMetrics",
+    "MIPS_200MHZ",
+    "MIPS_400MHZ",
+    "MIPS_40MHZ",
+    "Platform",
+    "evaluate_partition",
+]

@@ -1,0 +1,35 @@
+"""Platform definition: CPU clock, FPGA device, communication costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.cpu import CpiModel
+from repro.synth.fpga import DEFAULT_DEVICE, FpgaDevice
+from repro.platform.power import CpuPowerModel, FpgaPowerModel
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One configuration of the hypothetical MIPS/Virtex-II platform."""
+
+    name: str
+    cpu_clock_mhz: float
+    device: FpgaDevice = DEFAULT_DEVICE
+    cpi: CpiModel = field(default_factory=CpiModel)
+    cpu_power: CpuPowerModel = field(default_factory=CpuPowerModel)
+    fpga_power: FpgaPowerModel = field(default_factory=FpgaPowerModel)
+    #: CPU cycles to start a kernel and collect its results (register
+    #: handshake over the on-chip bus)
+    invocation_overhead_cycles: int = 30
+    #: one-time CPU cycles per word to migrate a localized data region into
+    #: FPGA block RAM (and dirty regions back) per kernel *activation phase*
+    migration_cycles_per_word: int = 2
+
+    def cpu_seconds(self, cycles: float) -> float:
+        return cycles / (self.cpu_clock_mhz * 1e6)
+
+
+MIPS_40MHZ = Platform(name="MIPS-40MHz + Virtex-II", cpu_clock_mhz=40.0)
+MIPS_200MHZ = Platform(name="MIPS-200MHz + Virtex-II", cpu_clock_mhz=200.0)
+MIPS_400MHZ = Platform(name="MIPS-400MHz + Virtex-II", cpu_clock_mhz=400.0)

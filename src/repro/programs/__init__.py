@@ -1,0 +1,53 @@
+"""The 20-benchmark suite (paper section 4).
+
+    "We applied our decompilation-based partitioning approach to twenty
+    examples from EEMBC, PowerStone, MediaBench, and our own benchmark
+    suite."
+
+Composition here: custom (3) + PowerStone (8) + MediaBench (4) + EEMBC (5)
+= 20 programs, two of which (``tblook``, ``ttsprk``) fail CDFG recovery by
+design (jump tables from dense switches).  Every benchmark carries a pure
+Python reference model; the test suite verifies compiler output and
+decompiled CDFGs against it at every optimization level.
+"""
+
+from repro.programs.base import Benchmark
+from repro.programs.custom import CUSTOM_BENCHMARKS
+from repro.programs.powerstone import POWERSTONE_BENCHMARKS
+from repro.programs.mediabench import MEDIABENCH_BENCHMARKS
+from repro.programs.eembc import EEMBC_BENCHMARKS
+
+ALL_BENCHMARKS: list[Benchmark] = (
+    CUSTOM_BENCHMARKS
+    + POWERSTONE_BENCHMARKS
+    + MEDIABENCH_BENCHMARKS
+    + EEMBC_BENCHMARKS
+)
+
+BENCHMARKS_BY_NAME: dict[str, Benchmark] = {b.name: b for b in ALL_BENCHMARKS}
+
+#: the four programs used in the paper's optimization-level study
+OPT_LEVEL_STUDY = ["brev", "crc", "fir", "matmul"]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BENCHMARKS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS_BY_NAME)}"
+        ) from None
+
+
+def by_suite(suite: str) -> list[Benchmark]:
+    return [b for b in ALL_BENCHMARKS if b.suite == suite]
+
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARKS_BY_NAME",
+    "Benchmark",
+    "OPT_LEVEL_STUDY",
+    "by_suite",
+    "get_benchmark",
+]

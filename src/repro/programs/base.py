@@ -1,0 +1,40 @@
+"""Benchmark definition shared by the four suites.
+
+Each benchmark carries its mini-C source, a pure-Python reference model
+computing the same checksum (used to validate compiler and decompiler
+against an independent implementation), and metadata used by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+MASK32 = 0xFFFF_FFFF
+
+
+def s32(value: int) -> int:
+    """Wrap to signed 32-bit (the reference models compute like the CPU)."""
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark program."""
+
+    name: str
+    suite: str              # 'custom' | 'powerstone' | 'mediabench' | 'eembc'
+    description: str
+    source: str
+    #: independent Python model returning the expected checksum (signed)
+    reference: Callable[[], int]
+    #: the data symbol holding the result
+    checksum_symbol: str = "checksum"
+    #: True for the two EEMBC-style kernels whose dense switches compile to
+    #: jump tables and defeat CDFG recovery (paper section 4)
+    expect_recovery_failure: bool = False
+
+    def expected_checksum(self) -> int:
+        return s32(self.reference())

@@ -1,0 +1,256 @@
+"""The "our own benchmark suite" programs: brev, matmul, sobel.
+
+brev is the canonical warp-processing kernel (bit reversal), matmul and
+sobel are the dense-compute kernels the intro of the paper motivates.
+Hot loops are written call-free (the binary-level synthesis tool does not
+inline across calls, matching the original system's kernel restrictions).
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark, MASK32, s32
+
+# ---------------------------------------------------------------------------
+# brev: bit reversal over a block of words
+# ---------------------------------------------------------------------------
+
+_BREV_SOURCE = """
+unsigned int data[64];
+unsigned int out[64];
+int checksum;
+
+void init(void) {
+    int i;
+    unsigned int v;
+    v = 2463534242;
+    for (i = 0; i < 64; i++) {
+        v ^= v << 13;
+        v ^= v >> 17;
+        v ^= v << 5;
+        data[i] = v;
+    }
+}
+
+void brev_block(void) {
+    int i;
+    unsigned int x;
+    for (i = 0; i < 64; i++) {
+        x = data[i];
+        x = ((x >> 1) & 0x55555555) | ((x & 0x55555555) << 1);
+        x = ((x >> 2) & 0x33333333) | ((x & 0x33333333) << 2);
+        x = ((x >> 4) & 0x0F0F0F0F) | ((x & 0x0F0F0F0F) << 4);
+        x = ((x >> 8) & 0x00FF00FF) | ((x & 0x00FF00FF) << 8);
+        x = (x >> 16) | (x << 16);
+        out[i] = x;
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 24; r++) {
+        brev_block();
+        checksum += (int)out[r + 7];
+    }
+    for (i = 0; i < 64; i++) checksum ^= (int)out[i];
+    return checksum;
+}
+"""
+
+
+def _brev_reference() -> int:
+    data = []
+    v = 2463534242
+    for _ in range(64):
+        v ^= (v << 13) & MASK32
+        v ^= v >> 17
+        v ^= (v << 5) & MASK32
+        data.append(v)
+
+    def rev(x: int) -> int:
+        x = ((x >> 1) & 0x55555555) | ((x & 0x55555555) << 1) & MASK32
+        x = ((x >> 2) & 0x33333333) | ((x & 0x33333333) << 2) & MASK32
+        x = ((x >> 4) & 0x0F0F0F0F) | ((x & 0x0F0F0F0F) << 4) & MASK32
+        x = ((x >> 8) & 0x00FF00FF) | ((x & 0x00FF00FF) << 8) & MASK32
+        x = ((x >> 16) | (x << 16)) & MASK32
+        return x
+
+    out = [rev(x) for x in data]
+    checksum = 0
+    for r in range(24):
+        checksum = (checksum + out[r + 7]) & MASK32
+    for i in range(64):
+        checksum ^= out[i]
+    return s32(checksum)
+
+
+BREV = Benchmark(
+    name="brev",
+    suite="custom",
+    description="bit reversal of a 64-word block (warp-processing classic)",
+    source=_BREV_SOURCE,
+    reference=_brev_reference,
+)
+
+# ---------------------------------------------------------------------------
+# matmul: 12x12 integer matrix multiply
+# ---------------------------------------------------------------------------
+
+_MATMUL_SOURCE = """
+int a[144];
+int b[144];
+int c[144];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 144; i++) {
+        a[i] = (i * 7 - 31) & 63;
+        b[i] = (i * 13 + 5) & 63;
+    }
+}
+
+void matmul(void) {
+    int i;
+    int j;
+    int k;
+    int acc;
+    for (i = 0; i < 12; i++) {
+        for (j = 0; j < 12; j++) {
+            acc = 0;
+            for (k = 0; k < 12; k++) {
+                acc += a[i * 12 + k] * b[k * 12 + j];
+            }
+            c[i * 12 + j] = acc;
+        }
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 6; r++) {
+        matmul();
+        checksum += c[r * 13];
+    }
+    for (i = 0; i < 144; i++) checksum += c[i];
+    return checksum;
+}
+"""
+
+
+def _matmul_reference() -> int:
+    a = [((i * 7 - 31) & 63) for i in range(144)]
+    b = [((i * 13 + 5) & 63) for i in range(144)]
+    c = [0] * 144
+    checksum = 0
+    for r in range(6):
+        for i in range(12):
+            for j in range(12):
+                acc = 0
+                for k in range(12):
+                    acc += a[i * 12 + k] * b[k * 12 + j]
+                c[i * 12 + j] = s32(acc)
+        checksum = s32(checksum + c[r * 13])
+    for i in range(144):
+        checksum = s32(checksum + c[i])
+    return checksum
+
+
+MATMUL = Benchmark(
+    name="matmul",
+    suite="custom",
+    description="12x12 integer matrix multiplication",
+    source=_MATMUL_SOURCE,
+    reference=_matmul_reference,
+)
+
+# ---------------------------------------------------------------------------
+# sobel: 3x3 edge detection on a 24x24 image
+# ---------------------------------------------------------------------------
+
+_SOBEL_SOURCE = """
+int image[576];
+int edges[576];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 576; i++) {
+        image[i] = ((i * 31) ^ (i >> 3)) & 255;
+    }
+}
+
+void sobel(void) {
+    int x;
+    int y;
+    int gx;
+    int gy;
+    int mag;
+    for (y = 1; y < 23; y++) {
+        for (x = 1; x < 23; x++) {
+            gx = image[(y - 1) * 24 + (x + 1)] - image[(y - 1) * 24 + (x - 1)]
+               + 2 * image[y * 24 + (x + 1)] - 2 * image[y * 24 + (x - 1)]
+               + image[(y + 1) * 24 + (x + 1)] - image[(y + 1) * 24 + (x - 1)];
+            gy = image[(y + 1) * 24 + (x - 1)] - image[(y - 1) * 24 + (x - 1)]
+               + 2 * image[(y + 1) * 24 + x] - 2 * image[(y - 1) * 24 + x]
+               + image[(y + 1) * 24 + (x + 1)] - image[(y - 1) * 24 + (x + 1)];
+            if (gx < 0) gx = -gx;
+            if (gy < 0) gy = -gy;
+            mag = gx + gy;
+            if (mag > 255) mag = 255;
+            edges[y * 24 + x] = mag;
+        }
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 8; r++) {
+        sobel();
+        checksum += edges[25 + r * 24];
+    }
+    for (i = 0; i < 576; i++) checksum += edges[i];
+    return checksum;
+}
+"""
+
+
+def _sobel_reference() -> int:
+    image = [(((i * 31) ^ (i >> 3)) & 255) for i in range(576)]
+    edges = [0] * 576
+    for y in range(1, 23):
+        for x in range(1, 23):
+            gx = (
+                image[(y - 1) * 24 + (x + 1)] - image[(y - 1) * 24 + (x - 1)]
+                + 2 * image[y * 24 + (x + 1)] - 2 * image[y * 24 + (x - 1)]
+                + image[(y + 1) * 24 + (x + 1)] - image[(y + 1) * 24 + (x - 1)]
+            )
+            gy = (
+                image[(y + 1) * 24 + (x - 1)] - image[(y - 1) * 24 + (x - 1)]
+                + 2 * image[(y + 1) * 24 + x] - 2 * image[(y - 1) * 24 + x]
+                + image[(y + 1) * 24 + (x + 1)] - image[(y - 1) * 24 + (x + 1)]
+            )
+            mag = min(abs(gx) + abs(gy), 255)
+            edges[y * 24 + x] = mag
+    checksum = 0
+    for r in range(8):
+        checksum = s32(checksum + edges[25 + r * 24])
+    for i in range(576):
+        checksum = s32(checksum + edges[i])
+    return checksum
+
+
+SOBEL = Benchmark(
+    name="sobel",
+    suite="custom",
+    description="Sobel 3x3 edge detection on a 24x24 image",
+    source=_SOBEL_SOURCE,
+    reference=_sobel_reference,
+)
+
+CUSTOM_BENCHMARKS = [BREV, MATMUL, SOBEL]

@@ -1,0 +1,446 @@
+"""EEMBC-style benchmarks: aifirf, rspeed, canrdr, tblook, ttsprk.
+
+``tblook`` and ``ttsprk`` contain dense ``switch`` statements in their hot
+paths.  The compiler lowers those to bounds-checked jump tables ending in a
+register-indirect ``jr`` -- the construct that defeats CDFG recovery.
+These two reproduce the paper's statement that recovery "failed for two
+EEMBC examples because of indirect jumps"; the flow reports them as
+software-only.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark, MASK32, s32
+
+# ---------------------------------------------------------------------------
+# aifirf: automotive FIR with saturation
+# ---------------------------------------------------------------------------
+
+_AIFIRF_SOURCE = """
+int signal_in[128];
+int fir_out[128];
+int coefs[8] = {8, -12, 21, 34, 34, 21, -12, 8};
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 128; i++) {
+        signal_in[i] = (((i * 73) % 511) - 255) << 2;
+    }
+}
+
+void filter(void) {
+    int i;
+    int j;
+    int acc;
+    for (i = 7; i < 128; i++) {
+        acc = 0;
+        for (j = 0; j < 8; j++) acc += signal_in[i - j] * coefs[j];
+        acc = acc >> 7;
+        if (acc > 4095) acc = 4095;
+        if (acc < -4096) acc = -4096;
+        fir_out[i] = acc;
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 12; r++) {
+        signal_in[r * 3] += r << 1;
+        filter();
+        checksum += fir_out[20 + r * 8];
+    }
+    for (i = 7; i < 128; i += 5) checksum += fir_out[i];
+    return checksum;
+}
+"""
+
+
+def _aifirf_reference() -> int:
+    signal = [((((i * 73) % 511) - 255) << 2) for i in range(128)]
+    coefs = [8, -12, 21, 34, 34, 21, -12, 8]
+    out = [0] * 128
+    checksum = 0
+    for r in range(12):
+        signal[r * 3] = s32(signal[r * 3] + (r << 1))
+        for i in range(7, 128):
+            acc = sum(signal[i - j] * coefs[j] for j in range(8))
+            acc = s32(acc) >> 7
+            acc = max(-4096, min(4095, acc))
+            out[i] = acc
+        checksum = s32(checksum + out[20 + r * 8])
+    for i in range(7, 128, 5):
+        checksum = s32(checksum + out[i])
+    return checksum
+
+
+AIFIRF = Benchmark(
+    name="aifirf",
+    suite="eembc",
+    description="automotive FIR filter with output saturation",
+    source=_AIFIRF_SOURCE,
+    reference=_aifirf_reference,
+)
+
+# ---------------------------------------------------------------------------
+# rspeed: road speed calculation from pulse intervals
+# ---------------------------------------------------------------------------
+
+_RSPEED_SOURCE = """
+int pulse_times[200];
+int speeds[200];
+int checksum;
+
+void init(void) {
+    int i;
+    int t;
+    t = 0;
+    for (i = 0; i < 200; i++) {
+        t += 40 + ((i * 31) % 77);
+        pulse_times[i] = t;
+    }
+}
+
+void compute(void) {
+    int i;
+    int delta;
+    int speed;
+    int prev;
+    prev = 0;
+    for (i = 0; i < 200; i++) {
+        delta = pulse_times[i] - prev;
+        prev = pulse_times[i];
+        if (delta <= 0) delta = 1;
+        speed = 360000 / delta;
+        if (speed > 2550) speed = 2550;
+        speeds[i] = (speed + (speeds[i] * 3)) >> 2;
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 14; r++) {
+        pulse_times[r * 9] += r;
+        compute();
+        checksum += speeds[10 + r * 11];
+    }
+    for (i = 0; i < 200; i += 7) checksum += speeds[i];
+    return checksum;
+}
+"""
+
+
+def _rspeed_reference() -> int:
+    times = []
+    t = 0
+    for i in range(200):
+        t += 40 + ((i * 31) % 77)
+        times.append(t)
+    speeds = [0] * 200
+    checksum = 0
+    for r in range(14):
+        times[r * 9] += r
+        prev = 0
+        for i in range(200):
+            delta = times[i] - prev
+            prev = times[i]
+            if delta <= 0:
+                delta = 1
+            speed = min(360000 // delta, 2550)
+            speeds[i] = (speed + speeds[i] * 3) >> 2
+        checksum = s32(checksum + speeds[10 + r * 11])
+    for i in range(0, 200, 7):
+        checksum = s32(checksum + speeds[i])
+    return checksum
+
+
+RSPEED = Benchmark(
+    name="rspeed",
+    suite="eembc",
+    description="road speed calculation from wheel pulse intervals",
+    source=_RSPEED_SOURCE,
+    reference=_rspeed_reference,
+)
+
+# ---------------------------------------------------------------------------
+# canrdr: CAN frame field extraction and counting
+# ---------------------------------------------------------------------------
+
+_CANRDR_SOURCE = """
+unsigned int frames[160];
+int id_counts[32];
+int payload_sum;
+int checksum;
+
+void init(void) {
+    int i;
+    unsigned int v;
+    v = 123456789;
+    for (i = 0; i < 160; i++) {
+        v ^= v << 13;
+        v ^= v >> 17;
+        v ^= v << 5;
+        frames[i] = v;
+    }
+}
+
+void process(void) {
+    int i;
+    unsigned int frame;
+    int id;
+    int dlc;
+    int data;
+    for (i = 0; i < 160; i++) {
+        frame = frames[i];
+        id = (int)((frame >> 21) & 31);
+        dlc = (int)((frame >> 16) & 15);
+        data = (int)(frame & 0xFFFF);
+        if (dlc > 8) dlc = 8;
+        id_counts[id] += 1;
+        if (dlc > 0) {
+            payload_sum += (data * dlc) >> 3;
+        }
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 18; r++) {
+        frames[r * 7] += (unsigned int)r;
+        process();
+        checksum += payload_sum & 0xFFFF;
+    }
+    for (i = 0; i < 32; i++) checksum += id_counts[i] * (i + 1);
+    return checksum;
+}
+"""
+
+
+def _canrdr_reference() -> int:
+    frames = []
+    v = 123456789
+    for _ in range(160):
+        v ^= (v << 13) & MASK32
+        v ^= v >> 17
+        v ^= (v << 5) & MASK32
+        frames.append(v)
+    id_counts = [0] * 32
+    payload_sum = 0
+    checksum = 0
+    for r in range(18):
+        frames[r * 7] = (frames[r * 7] + r) & MASK32
+        for i in range(160):
+            frame = frames[i]
+            ident = (frame >> 21) & 31
+            dlc = (frame >> 16) & 15
+            data = frame & 0xFFFF
+            if dlc > 8:
+                dlc = 8
+            id_counts[ident] += 1
+            if dlc > 0:
+                payload_sum = s32(payload_sum + ((data * dlc) >> 3))
+        checksum = s32(checksum + (payload_sum & 0xFFFF))
+    for i in range(32):
+        checksum = s32(checksum + id_counts[i] * (i + 1))
+    return checksum
+
+
+CANRDR = Benchmark(
+    name="canrdr",
+    suite="eembc",
+    description="CAN frame field extraction and per-ID counting",
+    source=_CANRDR_SOURCE,
+    reference=_canrdr_reference,
+)
+
+# ---------------------------------------------------------------------------
+# tblook: table lookup with a dense switch -> jump table -> CDFG failure
+# ---------------------------------------------------------------------------
+
+_TBLOOK_SOURCE = """
+int sensor_codes[256];
+int lookups[256];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 256; i++) sensor_codes[i] = (i * 11 + (i >> 3)) & 7;
+}
+
+int classify(int code, int raw) {
+    switch (code) {
+    case 0: return raw + 5;
+    case 1: return raw * 3;
+    case 2: return raw - 17;
+    case 3: return (raw << 2) + 1;
+    case 4: return raw >> 1;
+    case 5: return 255 - raw;
+    case 6: return raw ^ 0x5A;
+    default: return raw;
+    }
+}
+
+void lookup_all(void) {
+    int i;
+    for (i = 0; i < 256; i++) {
+        lookups[i] = classify(sensor_codes[i], i & 255);
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 30; r++) {
+        sensor_codes[r * 5] = (sensor_codes[r * 5] + 1) & 7;
+        lookup_all();
+        checksum += lookups[r * 8];
+    }
+    for (i = 0; i < 256; i += 9) checksum += lookups[i];
+    return checksum;
+}
+"""
+
+
+def _tblook_classify(code: int, raw: int) -> int:
+    if code == 0:
+        return raw + 5
+    if code == 1:
+        return raw * 3
+    if code == 2:
+        return raw - 17
+    if code == 3:
+        return (raw << 2) + 1
+    if code == 4:
+        return raw >> 1
+    if code == 5:
+        return 255 - raw
+    if code == 6:
+        return raw ^ 0x5A
+    return raw
+
+
+def _tblook_reference() -> int:
+    codes = [((i * 11 + (i >> 3)) & 7) for i in range(256)]
+    lookups = [0] * 256
+    checksum = 0
+    for r in range(30):
+        codes[r * 5] = (codes[r * 5] + 1) & 7
+        for i in range(256):
+            lookups[i] = _tblook_classify(codes[i], i & 255)
+        checksum = s32(checksum + lookups[r * 8])
+    for i in range(0, 256, 9):
+        checksum = s32(checksum + lookups[i])
+    return checksum
+
+
+TBLOOK = Benchmark(
+    name="tblook",
+    suite="eembc",
+    description="table lookup via dense switch (jump table -> recovery failure)",
+    source=_TBLOOK_SOURCE,
+    reference=_tblook_reference,
+    expect_recovery_failure=True,
+)
+
+# ---------------------------------------------------------------------------
+# ttsprk: spark controller state machine -> jump table -> CDFG failure
+# ---------------------------------------------------------------------------
+
+_TTSPRK_SOURCE = """
+int events[512];
+int actions[512];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 512; i++) events[i] = ((i * 19) ^ (i >> 2)) & 15;
+}
+
+void run_machine(void) {
+    int i;
+    int state;
+    int event;
+    int action;
+    state = 0;
+    for (i = 0; i < 512; i++) {
+        event = events[i];
+        switch (state) {
+        case 0: action = event + 1;       state = event & 3;        break;
+        case 1: action = event << 1;      state = (event & 1) + 1;  break;
+        case 2: action = event * 5;       state = event > 7 ? 3 : 0; break;
+        case 3: action = event - 9;       state = 4;                break;
+        case 4: action = event ^ 12;      state = event & 7 ? 5 : 0; break;
+        case 5: action = (event << 2) | 1; state = 6;               break;
+        case 6: action = 64 - event;      state = 7;                break;
+        default: action = event;          state = 0;                break;
+        }
+        actions[i] = action;
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 14; r++) {
+        events[r * 11] = (events[r * 11] + 3) & 15;
+        run_machine();
+        checksum += actions[r * 13];
+    }
+    for (i = 0; i < 512; i += 21) checksum += actions[i];
+    return checksum;
+}
+"""
+
+
+def _ttsprk_step(state: int, event: int) -> tuple[int, int]:
+    if state == 0:
+        return event + 1, event & 3
+    if state == 1:
+        return event << 1, (event & 1) + 1
+    if state == 2:
+        return event * 5, 3 if event > 7 else 0
+    if state == 3:
+        return event - 9, 4
+    if state == 4:
+        return event ^ 12, 5 if event & 7 else 0
+    if state == 5:
+        return (event << 2) | 1, 6
+    if state == 6:
+        return 64 - event, 7
+    return event, 0
+
+
+def _ttsprk_reference() -> int:
+    events = [(((i * 19) ^ (i >> 2)) & 15) for i in range(512)]
+    actions = [0] * 512
+    checksum = 0
+    for r in range(14):
+        events[r * 11] = (events[r * 11] + 3) & 15
+        state = 0
+        for i in range(512):
+            action, state = _ttsprk_step(state, events[i])
+            actions[i] = action
+        checksum = s32(checksum + actions[r * 13])
+    for i in range(0, 512, 21):
+        checksum = s32(checksum + actions[i])
+    return checksum
+
+
+TTSPRK = Benchmark(
+    name="ttsprk",
+    suite="eembc",
+    description="spark controller state machine via dense switch (recovery failure)",
+    source=_TTSPRK_SOURCE,
+    reference=_ttsprk_reference,
+    expect_recovery_failure=True,
+)
+
+EEMBC_BENCHMARKS = [AIFIRF, RSPEED, CANRDR, TBLOOK, TTSPRK]

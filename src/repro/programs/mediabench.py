@@ -1,0 +1,393 @@
+"""MediaBench-style benchmarks: jpegdct, g721, epic, mpegidct.
+
+Integer kernels with the same computational structure as the MediaBench
+originals: block DCT/IDCT butterflies (constant multiplications -- the
+strength promotion showcase), adaptive predictor updates, and
+quantize/run-length coding.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark, MASK32, s32
+
+# ---------------------------------------------------------------------------
+# jpegdct: 8x8 forward DCT (integer, shift/multiply butterflies)
+# ---------------------------------------------------------------------------
+
+_JPEGDCT_SOURCE = """
+int block[64];
+int coef[64];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 64; i++) block[i] = ((i * 29) ^ (i << 1)) & 255;
+}
+
+void dct_rows(void) {
+    int r;
+    int s0; int s1; int s2; int s3;
+    int d0; int d1; int d2; int d3;
+    for (r = 0; r < 8; r++) {
+        s0 = block[r * 8 + 0] + block[r * 8 + 7];
+        s1 = block[r * 8 + 1] + block[r * 8 + 6];
+        s2 = block[r * 8 + 2] + block[r * 8 + 5];
+        s3 = block[r * 8 + 3] + block[r * 8 + 4];
+        d0 = block[r * 8 + 0] - block[r * 8 + 7];
+        d1 = block[r * 8 + 1] - block[r * 8 + 6];
+        d2 = block[r * 8 + 2] - block[r * 8 + 5];
+        d3 = block[r * 8 + 3] - block[r * 8 + 4];
+        coef[r * 8 + 0] = (s0 + s1 + s2 + s3) << 2;
+        coef[r * 8 + 4] = (s0 - s1 - s2 + s3) << 2;
+        coef[r * 8 + 2] = (s0 * 17 - s3 * 17 + s1 * 7 - s2 * 7) >> 2;
+        coef[r * 8 + 6] = (s0 * 7 - s3 * 7 - s1 * 17 + s2 * 17) >> 2;
+        coef[r * 8 + 1] = (d0 * 22 + d1 * 19 + d2 * 12 + d3 * 4) >> 2;
+        coef[r * 8 + 3] = (d0 * 19 - d1 * 4 - d2 * 22 - d3 * 12) >> 2;
+        coef[r * 8 + 5] = (d0 * 12 - d1 * 22 + d2 * 4 + d3 * 19) >> 2;
+        coef[r * 8 + 7] = (d0 * 4 - d1 * 12 + d2 * 19 - d3 * 22) >> 2;
+    }
+}
+
+int main(void) {
+    int rep;
+    int i;
+    init();
+    for (rep = 0; rep < 40; rep++) {
+        block[rep] = (block[rep] + rep) & 255;
+        dct_rows();
+        checksum += coef[rep & 63];
+    }
+    for (i = 0; i < 64; i++) checksum += coef[i];
+    return checksum;
+}
+"""
+
+
+def _jpegdct_reference() -> int:
+    block = [(((i * 29) ^ (i << 1)) & 255) for i in range(64)]
+    coef = [0] * 64
+
+    def dct_rows() -> None:
+        for r in range(8):
+            b = block[r * 8 : r * 8 + 8]
+            s = [b[0] + b[7], b[1] + b[6], b[2] + b[5], b[3] + b[4]]
+            d = [b[0] - b[7], b[1] - b[6], b[2] - b[5], b[3] - b[4]]
+            coef[r * 8 + 0] = s32((s[0] + s[1] + s[2] + s[3]) << 2)
+            coef[r * 8 + 4] = s32((s[0] - s[1] - s[2] + s[3]) << 2)
+            coef[r * 8 + 2] = s32(s[0] * 17 - s[3] * 17 + s[1] * 7 - s[2] * 7) >> 2
+            coef[r * 8 + 6] = s32(s[0] * 7 - s[3] * 7 - s[1] * 17 + s[2] * 17) >> 2
+            coef[r * 8 + 1] = s32(d[0] * 22 + d[1] * 19 + d[2] * 12 + d[3] * 4) >> 2
+            coef[r * 8 + 3] = s32(d[0] * 19 - d[1] * 4 - d[2] * 22 - d[3] * 12) >> 2
+            coef[r * 8 + 5] = s32(d[0] * 12 - d[1] * 22 + d[2] * 4 + d[3] * 19) >> 2
+            coef[r * 8 + 7] = s32(d[0] * 4 - d[1] * 12 + d[2] * 19 - d[3] * 22) >> 2
+
+    checksum = 0
+    for rep in range(40):
+        block[rep] = (block[rep] + rep) & 255
+        dct_rows()
+        checksum = s32(checksum + coef[rep & 63])
+    for i in range(64):
+        checksum = s32(checksum + coef[i])
+    return checksum
+
+
+JPEGDCT = Benchmark(
+    name="jpegdct",
+    suite="mediabench",
+    description="8x8 integer forward DCT row pass (JPEG-style butterflies)",
+    source=_JPEGDCT_SOURCE,
+    reference=_jpegdct_reference,
+)
+
+# ---------------------------------------------------------------------------
+# g721: adaptive predictor coefficient update (sign-sign LMS)
+# ---------------------------------------------------------------------------
+
+_G721_SOURCE = """
+int history[6];
+int weights[6];
+int inputs[384];
+int outputs[384];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 6; i++) { history[i] = 0; weights[i] = 0; }
+    for (i = 0; i < 384; i++) inputs[i] = (((i * 57) % 255) - 127) << 4;
+}
+
+void predict(void) {
+    int i;
+    int k;
+    int pred;
+    int err;
+    int sign;
+    for (i = 0; i < 384; i++) {
+        pred = 0;
+        for (k = 0; k < 6; k++) pred += weights[k] * history[k];
+        pred = pred >> 14;
+        err = inputs[i] - pred;
+        sign = err >= 0 ? 1 : -1;
+        for (k = 0; k < 6; k++) {
+            if (history[k] >= 0) weights[k] += sign * 32;
+            else weights[k] -= sign * 32;
+            weights[k] = weights[k] - (weights[k] >> 8);
+        }
+        for (k = 5; k > 0; k--) history[k] = history[k - 1];
+        history[0] = err > 0 ? err : -err;
+        outputs[i] = pred;
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 4; r++) {
+        inputs[r * 17] += r << 3;
+        predict();
+        checksum += outputs[50 + r * 40];
+    }
+    for (i = 0; i < 384; i += 13) checksum += outputs[i];
+    return checksum;
+}
+"""
+
+
+def _g721_reference() -> int:
+    inputs = [((((i * 57) % 255) - 127) << 4) for i in range(384)]
+    outputs = [0] * 384
+    checksum = 0
+    history = [0] * 6
+    weights = [0] * 6
+    # history/weights are globals in the C version: they persist across reps
+    for r in range(4):
+        inputs[r * 17] = s32(inputs[r * 17] + (r << 3))
+        for i in range(384):
+            pred = sum(weights[k] * history[k] for k in range(6))
+            pred = s32(pred) >> 14
+            err = inputs[i] - pred
+            sign = 1 if err >= 0 else -1
+            for k in range(6):
+                if history[k] >= 0:
+                    weights[k] = s32(weights[k] + sign * 32)
+                else:
+                    weights[k] = s32(weights[k] - sign * 32)
+                weights[k] = s32(weights[k] - (weights[k] >> 8))
+            for k in range(5, 0, -1):
+                history[k] = history[k - 1]
+            history[0] = err if err > 0 else -err
+            outputs[i] = pred
+        checksum = s32(checksum + outputs[50 + r * 40])
+    for i in range(0, 384, 13):
+        checksum = s32(checksum + outputs[i])
+    return checksum
+
+
+G721 = Benchmark(
+    name="g721",
+    suite="mediabench",
+    description="G.721-style adaptive predictor (sign-sign LMS) over 384 samples",
+    source=_G721_SOURCE,
+    reference=_g721_reference,
+)
+
+# ---------------------------------------------------------------------------
+# epic: coefficient quantization + zero run-length coding
+# ---------------------------------------------------------------------------
+
+_EPIC_SOURCE = """
+int coeffs[512];
+int symbols[512];
+int checksum;
+
+void init(void) {
+    int i;
+    int v;
+    for (i = 0; i < 512; i++) {
+        v = ((i * 97) % 401) - 200;
+        if ((i & 7) > 2) v = v >> 4;
+        coeffs[i] = v;
+    }
+}
+
+int rle_quantize(int qstep) {
+    int i;
+    int q;
+    int run;
+    int count;
+    run = 0;
+    count = 0;
+    for (i = 0; i < 512; i++) {
+        q = coeffs[i] / qstep;
+        if (q == 0) {
+            run = run + 1;
+        } else {
+            symbols[count] = (run << 8) | (q & 255);
+            count = count + 1;
+            run = 0;
+        }
+    }
+    if (run > 0) {
+        symbols[count] = run << 8;
+        count = count + 1;
+    }
+    return count;
+}
+
+int main(void) {
+    int r;
+    int n;
+    int i;
+    init();
+    for (r = 1; r < 14; r++) {
+        n = rle_quantize(r * 2 + 1);
+        checksum += n;
+        for (i = 0; i < n; i += 7) checksum ^= symbols[i];
+    }
+    return checksum;
+}
+"""
+
+
+def _epic_reference() -> int:
+    coeffs = []
+    for i in range(512):
+        v = ((i * 97) % 401) - 200
+        if (i & 7) > 2:
+            v >>= 4
+        coeffs.append(v)
+    symbols = [0] * 512
+    checksum = 0
+    for r in range(1, 14):
+        qstep = r * 2 + 1
+        run = 0
+        count = 0
+        for i in range(512):
+            q = int(coeffs[i] / qstep)  # C truncates toward zero
+            if q == 0:
+                run += 1
+            else:
+                symbols[count] = (run << 8) | (q & 255)
+                count += 1
+                run = 0
+        if run > 0:
+            symbols[count] = run << 8
+            count += 1
+        checksum = s32(checksum + count)
+        for i in range(0, count, 7):
+            checksum ^= symbols[i]
+    return s32(checksum)
+
+
+EPIC = Benchmark(
+    name="epic",
+    suite="mediabench",
+    description="EPIC-style coefficient quantization with zero run-length coding",
+    source=_EPIC_SOURCE,
+    reference=_epic_reference,
+)
+
+# ---------------------------------------------------------------------------
+# mpegidct: 1-D 8-point IDCT passes over 8x8 blocks
+# ---------------------------------------------------------------------------
+
+_MPEGIDCT_SOURCE = """
+int blk[64];
+int tmp[64];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 64; i++) blk[i] = (((i * 47) ^ 21) % 201) - 100;
+}
+
+void idct_pass(void) {
+    int r;
+    int x0; int x1; int x2; int x3; int x4; int x5; int x6; int x7;
+    int a0; int a1; int a2; int a3;
+    for (r = 0; r < 8; r++) {
+        x0 = blk[r * 8 + 0] << 8;
+        x1 = blk[r * 8 + 4] << 8;
+        x2 = blk[r * 8 + 6];
+        x3 = blk[r * 8 + 2];
+        x4 = blk[r * 8 + 1];
+        x5 = blk[r * 8 + 7];
+        x6 = blk[r * 8 + 5];
+        x7 = blk[r * 8 + 3];
+        a0 = x0 + x1;
+        a1 = x0 - x1;
+        a2 = x3 * 139 + x2 * 58;
+        a3 = x3 * 58 - x2 * 139;
+        tmp[r * 8 + 0] = (a0 + a2) >> 8;
+        tmp[r * 8 + 1] = (a1 + a3) >> 8;
+        tmp[r * 8 + 2] = (a1 - a3) >> 8;
+        tmp[r * 8 + 3] = (a0 - a2) >> 8;
+        tmp[r * 8 + 4] = (x4 * 251 + x5 * 50) >> 8;
+        tmp[r * 8 + 5] = (x4 * 50 - x5 * 251) >> 8;
+        tmp[r * 8 + 6] = (x6 * 213 + x7 * 142) >> 8;
+        tmp[r * 8 + 7] = (x6 * 142 - x7 * 213) >> 8;
+    }
+}
+
+int main(void) {
+    int rep;
+    int i;
+    init();
+    for (rep = 0; rep < 32; rep++) {
+        blk[rep & 63] += rep;
+        idct_pass();
+        checksum += tmp[(rep * 5) & 63];
+    }
+    for (i = 0; i < 64; i++) checksum += tmp[i];
+    return checksum;
+}
+"""
+
+
+def _mpegidct_reference() -> int:
+    blk = [((((i * 47) ^ 21) % 201) - 100) for i in range(64)]
+    tmp = [0] * 64
+
+    def idct_pass() -> None:
+        for r in range(8):
+            x0 = blk[r * 8 + 0] << 8
+            x1 = blk[r * 8 + 4] << 8
+            x2 = blk[r * 8 + 6]
+            x3 = blk[r * 8 + 2]
+            x4 = blk[r * 8 + 1]
+            x5 = blk[r * 8 + 7]
+            x6 = blk[r * 8 + 5]
+            x7 = blk[r * 8 + 3]
+            a0 = x0 + x1
+            a1 = x0 - x1
+            a2 = x3 * 139 + x2 * 58
+            a3 = x3 * 58 - x2 * 139
+            tmp[r * 8 + 0] = s32(a0 + a2) >> 8
+            tmp[r * 8 + 1] = s32(a1 + a3) >> 8
+            tmp[r * 8 + 2] = s32(a1 - a3) >> 8
+            tmp[r * 8 + 3] = s32(a0 - a2) >> 8
+            tmp[r * 8 + 4] = s32(x4 * 251 + x5 * 50) >> 8
+            tmp[r * 8 + 5] = s32(x4 * 50 - x5 * 251) >> 8
+            tmp[r * 8 + 6] = s32(x6 * 213 + x7 * 142) >> 8
+            tmp[r * 8 + 7] = s32(x6 * 142 - x7 * 213) >> 8
+
+    checksum = 0
+    for rep in range(32):
+        blk[rep & 63] = s32(blk[rep & 63] + rep)
+        idct_pass()
+        checksum = s32(checksum + tmp[(rep * 5) & 63])
+    for i in range(64):
+        checksum = s32(checksum + tmp[i])
+    return checksum
+
+
+MPEGIDCT = Benchmark(
+    name="mpegidct",
+    suite="mediabench",
+    description="MPEG-style 8-point integer IDCT pass over 8x8 blocks",
+    source=_MPEGIDCT_SOURCE,
+    reference=_mpegidct_reference,
+)
+
+MEDIABENCH_BENCHMARKS = [JPEGDCT, G721, EPIC, MPEGIDCT]

@@ -1,0 +1,638 @@
+"""PowerStone-style benchmarks: fir, crc, bcnt, blit, g3fax, adpcm, engine,
+pocsag.
+
+Re-implementations in mini-C with the same algorithmic structure and
+hot-loop shape as the originals (the licensed sources are unavailable; see
+DESIGN.md section 2).  Workloads are synthetic but sized so each kernel
+dominates execution per the 90-10 rule.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark, MASK32, s32
+
+# ---------------------------------------------------------------------------
+# fir: 16-tap FIR filter over 128 samples
+# ---------------------------------------------------------------------------
+
+_FIR_SOURCE = """
+int samples[128];
+int taps[16] = {3, -1, 4, 1, -5, 9, 2, -6, 5, 3, -5, 8, 9, -7, 9, 3};
+int filtered[128];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 128; i++) samples[i] = ((i * 37) ^ (i << 2)) & 1023;
+}
+
+void fir(void) {
+    int i;
+    int j;
+    int acc;
+    for (i = 15; i < 128; i++) {
+        acc = 0;
+        for (j = 0; j < 16; j++) {
+            acc += samples[i - j] * taps[j];
+        }
+        filtered[i] = acc >> 6;
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 8; r++) {
+        fir();
+        checksum += filtered[16 + r * 9];
+    }
+    for (i = 15; i < 128; i++) checksum += filtered[i];
+    return checksum;
+}
+"""
+
+
+def _fir_reference() -> int:
+    samples = [(((i * 37) ^ (i << 2)) & 1023) for i in range(128)]
+    taps = [3, -1, 4, 1, -5, 9, 2, -6, 5, 3, -5, 8, 9, -7, 9, 3]
+    filtered = [0] * 128
+    for i in range(15, 128):
+        acc = sum(samples[i - j] * taps[j] for j in range(16))
+        filtered[i] = s32(acc) >> 6
+    checksum = 0
+    for r in range(8):
+        checksum = s32(checksum + filtered[16 + r * 9])
+    for i in range(15, 128):
+        checksum = s32(checksum + filtered[i])
+    return checksum
+
+
+FIR = Benchmark(
+    name="fir",
+    suite="powerstone",
+    description="16-tap integer FIR filter over 128 samples",
+    source=_FIR_SOURCE,
+    reference=_fir_reference,
+)
+
+# ---------------------------------------------------------------------------
+# crc: table-driven CRC-32 over a 256-byte message
+# ---------------------------------------------------------------------------
+
+_CRC_SOURCE = """
+unsigned int crc_table[256];
+unsigned char message[256];
+int checksum;
+
+void init(void) {
+    int i;
+    int j;
+    unsigned int c;
+    for (i = 0; i < 256; i++) {
+        c = (unsigned int)i;
+        for (j = 0; j < 8; j++) {
+            if (c & 1) c = (c >> 1) ^ 0xEDB88320;
+            else c = c >> 1;
+        }
+        crc_table[i] = c;
+        message[i] = (unsigned char)(i * 7 + 3);
+    }
+}
+
+unsigned int crc32(void) {
+    unsigned int crc;
+    int i;
+    crc = 0xFFFFFFFF;
+    for (i = 0; i < 256; i++) {
+        crc = (crc >> 8) ^ crc_table[(crc ^ message[i]) & 255];
+    }
+    return crc ^ 0xFFFFFFFF;
+}
+
+int main(void) {
+    int r;
+    init();
+    for (r = 0; r < 24; r++) {
+        message[r] = (unsigned char)(message[r] + r);
+        checksum ^= (int)crc32();
+    }
+    return checksum;
+}
+"""
+
+
+def _crc_reference() -> int:
+    table = []
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (c >> 1) ^ 0xEDB88320 if c & 1 else c >> 1
+        table.append(c)
+    message = [((i * 7 + 3) & 0xFF) for i in range(256)]
+    checksum = 0
+    for r in range(24):
+        message[r] = (message[r] + r) & 0xFF
+        crc = 0xFFFFFFFF
+        for i in range(256):
+            crc = (crc >> 8) ^ table[(crc ^ message[i]) & 255]
+        checksum ^= crc ^ 0xFFFFFFFF
+    return s32(checksum)
+
+
+CRC = Benchmark(
+    name="crc",
+    suite="powerstone",
+    description="table-driven CRC-32 over a 256-byte message",
+    source=_CRC_SOURCE,
+    reference=_crc_reference,
+)
+
+# ---------------------------------------------------------------------------
+# bcnt: bit counting over a word array
+# ---------------------------------------------------------------------------
+
+_BCNT_SOURCE = """
+unsigned int words[128];
+int checksum;
+
+void init(void) {
+    int i;
+    unsigned int v;
+    v = 88172645;
+    for (i = 0; i < 128; i++) {
+        v ^= v << 13;
+        v ^= v >> 17;
+        v ^= v << 5;
+        words[i] = v;
+    }
+}
+
+int popcount_all(void) {
+    int i;
+    int total;
+    unsigned int x;
+    total = 0;
+    for (i = 0; i < 128; i++) {
+        x = words[i];
+        x = x - ((x >> 1) & 0x55555555);
+        x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+        x = (x + (x >> 4)) & 0x0F0F0F0F;
+        total += (int)((x * 0x01010101) >> 24);
+    }
+    return total;
+}
+
+int main(void) {
+    int r;
+    init();
+    for (r = 0; r < 40; r++) {
+        words[r & 127] ^= (unsigned int)r;
+        checksum += popcount_all();
+    }
+    return checksum;
+}
+"""
+
+
+def _bcnt_reference() -> int:
+    words = []
+    v = 88172645
+    for _ in range(128):
+        v ^= (v << 13) & MASK32
+        v ^= v >> 17
+        v ^= (v << 5) & MASK32
+        words.append(v)
+    checksum = 0
+    for r in range(40):
+        words[r & 127] ^= r
+        total = sum(bin(w).count("1") for w in words)
+        checksum = s32(checksum + total)
+    return checksum
+
+
+BCNT = Benchmark(
+    name="bcnt",
+    suite="powerstone",
+    description="population count over 128 words (SWAR)",
+    source=_BCNT_SOURCE,
+    reference=_bcnt_reference,
+)
+
+# ---------------------------------------------------------------------------
+# blit: shifted block transfer with boundary masks
+# ---------------------------------------------------------------------------
+
+_BLIT_SOURCE = """
+unsigned int src[160];
+unsigned int dst[160];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 160; i++) {
+        src[i] = (unsigned int)((i * 2654435761) ^ (i << 7));
+        dst[i] = 0;
+    }
+}
+
+void blit(int shift) {
+    int i;
+    unsigned int carry;
+    unsigned int w;
+    carry = 0;
+    for (i = 0; i < 160; i++) {
+        w = src[i];
+        dst[i] = (w << shift) | carry;
+        carry = w >> (32 - shift);
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 1; r < 13; r++) {
+        blit(r & 7 ? r & 7 : 3);
+        for (i = 0; i < 160; i += 40) checksum ^= (int)dst[i];
+    }
+    return checksum;
+}
+"""
+
+
+def _blit_reference() -> int:
+    src = [(((i * 2654435761) ^ (i << 7)) & MASK32) for i in range(160)]
+    dst = [0] * 160
+    checksum = 0
+    for r in range(1, 13):
+        shift = (r & 7) if (r & 7) else 3
+        carry = 0
+        for i in range(160):
+            w = src[i]
+            dst[i] = ((w << shift) | carry) & MASK32
+            carry = w >> (32 - shift)
+        for i in range(0, 160, 40):
+            checksum ^= dst[i]
+    return s32(checksum)
+
+
+BLIT = Benchmark(
+    name="blit",
+    suite="powerstone",
+    description="bit-shifted block transfer with carry chaining",
+    source=_BLIT_SOURCE,
+    reference=_blit_reference,
+)
+
+# ---------------------------------------------------------------------------
+# g3fax: run-length expansion (Group-3 fax style)
+# ---------------------------------------------------------------------------
+
+_G3FAX_SOURCE = """
+int runs[96];
+unsigned char scanline[864];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 96; i++) {
+        runs[i] = ((i * 17) % 13) + 3;
+    }
+}
+
+int expand(void) {
+    int i;
+    int j;
+    int pos;
+    int color;
+    int run;
+    pos = 0;
+    color = 0;
+    for (i = 0; i < 96; i++) {
+        run = runs[i];
+        for (j = 0; j < run; j++) {
+            if (pos < 864) {
+                scanline[pos] = (unsigned char)color;
+                pos = pos + 1;
+            }
+        }
+        color = 255 - color;
+    }
+    return pos;
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 20; r++) {
+        runs[r % 96] = (runs[r % 96] + r) % 13 + 3;
+        checksum += expand();
+    }
+    for (i = 0; i < 864; i += 37) checksum += scanline[i];
+    return checksum;
+}
+"""
+
+
+def _g3fax_reference() -> int:
+    runs = [((i * 17) % 13) + 3 for i in range(96)]
+    scanline = [0] * 864
+    checksum = 0
+    for r in range(20):
+        runs[r % 96] = (runs[r % 96] + r) % 13 + 3
+        pos = 0
+        color = 0
+        for i in range(96):
+            for _ in range(runs[i]):
+                if pos < 864:
+                    scanline[pos] = color & 0xFF
+                    pos += 1
+            color = 255 - color
+        checksum = s32(checksum + pos)
+    for i in range(0, 864, 37):
+        checksum = s32(checksum + scanline[i])
+    return checksum
+
+
+G3FAX = Benchmark(
+    name="g3fax",
+    suite="powerstone",
+    description="Group-3 fax run-length scanline expansion",
+    source=_G3FAX_SOURCE,
+    reference=_g3fax_reference,
+)
+
+# ---------------------------------------------------------------------------
+# adpcm: IMA ADPCM decoder
+# ---------------------------------------------------------------------------
+
+_ADPCM_SOURCE = """
+int step_table[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+int index_table[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+unsigned char codes[512];
+int pcm[512];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 512; i++) codes[i] = (unsigned char)((i * 11 + 3) & 15);
+}
+
+void decode(void) {
+    int i;
+    int predictor;
+    int index;
+    int step;
+    int code;
+    int diff;
+    predictor = 0;
+    index = 0;
+    for (i = 0; i < 512; i++) {
+        code = codes[i];
+        step = step_table[index];
+        diff = step >> 3;
+        if (code & 1) diff += step >> 2;
+        if (code & 2) diff += step >> 1;
+        if (code & 4) diff += step;
+        if (code & 8) predictor -= diff;
+        else predictor += diff;
+        if (predictor > 32767) predictor = 32767;
+        if (predictor < -32768) predictor = -32768;
+        index += index_table[code];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        pcm[i] = predictor;
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 10; r++) {
+        codes[r * 3] = (unsigned char)((codes[r * 3] + 5) & 15);
+        decode();
+        checksum += pcm[100 + r * 20];
+    }
+    for (i = 0; i < 512; i += 17) checksum += pcm[i];
+    return checksum;
+}
+"""
+
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def _adpcm_reference() -> int:
+    codes = [((i * 11 + 3) & 15) for i in range(512)]
+    pcm = [0] * 512
+    checksum = 0
+    for r in range(10):
+        codes[r * 3] = (codes[r * 3] + 5) & 15
+        predictor = 0
+        index = 0
+        for i in range(512):
+            code = codes[i]
+            step = _STEP_TABLE[index]
+            diff = step >> 3
+            if code & 1:
+                diff += step >> 2
+            if code & 2:
+                diff += step >> 1
+            if code & 4:
+                diff += step
+            if code & 8:
+                predictor -= diff
+            else:
+                predictor += diff
+            predictor = max(-32768, min(32767, predictor))
+            index += _INDEX_TABLE[code]
+            index = max(0, min(88, index))
+            pcm[i] = predictor
+        checksum = s32(checksum + pcm[100 + r * 20])
+    for i in range(0, 512, 17):
+        checksum = s32(checksum + pcm[i])
+    return checksum
+
+
+ADPCM = Benchmark(
+    name="adpcm",
+    suite="powerstone",
+    description="IMA ADPCM decoder over 512 nibble codes",
+    source=_ADPCM_SOURCE,
+    reference=_adpcm_reference,
+)
+
+# ---------------------------------------------------------------------------
+# engine: spark advance interpolation over an RPM trace
+# ---------------------------------------------------------------------------
+
+_ENGINE_SOURCE = """
+int advance_table[17] = {0, 2, 5, 9, 12, 16, 20, 23, 26, 28, 30, 31, 32, 32, 31, 30, 28};
+int rpm_trace[256];
+int spark[256];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 256; i++) {
+        rpm_trace[i] = 600 + ((i * 53) % 7400);
+    }
+}
+
+void control(void) {
+    int i;
+    int rpm;
+    int slot;
+    int frac;
+    int lo;
+    int hi;
+    for (i = 0; i < 256; i++) {
+        rpm = rpm_trace[i];
+        slot = rpm >> 9;
+        if (slot > 15) slot = 15;
+        frac = rpm & 511;
+        lo = advance_table[slot];
+        hi = advance_table[slot + 1];
+        spark[i] = lo + (((hi - lo) * frac) >> 9);
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 20; r++) {
+        rpm_trace[r * 5] += r * 13;
+        control();
+        checksum += spark[r * 9];
+    }
+    for (i = 0; i < 256; i += 11) checksum += spark[i];
+    return checksum;
+}
+"""
+
+
+def _engine_reference() -> int:
+    table = [0, 2, 5, 9, 12, 16, 20, 23, 26, 28, 30, 31, 32, 32, 31, 30, 28]
+    rpm_trace = [600 + ((i * 53) % 7400) for i in range(256)]
+    spark = [0] * 256
+    checksum = 0
+    for r in range(20):
+        rpm_trace[r * 5] += r * 13
+        for i in range(256):
+            rpm = rpm_trace[i]
+            slot = min(rpm >> 9, 15)
+            frac = rpm & 511
+            lo, hi = table[slot], table[slot + 1]
+            spark[i] = lo + (((hi - lo) * frac) >> 9)
+        checksum = s32(checksum + spark[r * 9])
+    for i in range(0, 256, 11):
+        checksum = s32(checksum + spark[i])
+    return checksum
+
+
+ENGINE = Benchmark(
+    name="engine",
+    suite="powerstone",
+    description="spark advance table interpolation over an RPM trace",
+    source=_ENGINE_SOURCE,
+    reference=_engine_reference,
+)
+
+# ---------------------------------------------------------------------------
+# pocsag: BCH(31,21) parity computation for pager codewords
+# ---------------------------------------------------------------------------
+
+_POCSAG_SOURCE = """
+unsigned int codewords[64];
+unsigned int encoded[64];
+int checksum;
+
+void init(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        codewords[i] = (unsigned int)((i * 40503) & 0x1FFFFF);
+    }
+}
+
+void encode(void) {
+    int i;
+    int bit;
+    unsigned int data;
+    unsigned int reg;
+    for (i = 0; i < 64; i++) {
+        data = codewords[i] << 11;
+        reg = data;
+        for (bit = 0; bit < 21; bit++) {
+            if (reg & 0x80000000) {
+                reg ^= 0xED200000;
+            }
+            reg = reg << 1;
+        }
+        encoded[i] = data | (reg >> 21);
+    }
+}
+
+int main(void) {
+    int r;
+    int i;
+    init();
+    for (r = 0; r < 16; r++) {
+        codewords[r * 2] = (codewords[r * 2] + 77) & 0x1FFFFF;
+        encode();
+        checksum ^= (int)encoded[r * 3];
+    }
+    for (i = 0; i < 64; i++) checksum ^= (int)encoded[i];
+    return checksum;
+}
+"""
+
+
+def _pocsag_reference() -> int:
+    codewords = [((i * 40503) & 0x1FFFFF) for i in range(64)]
+    encoded = [0] * 64
+    checksum = 0
+    for r in range(16):
+        codewords[r * 2] = (codewords[r * 2] + 77) & 0x1FFFFF
+        for i in range(64):
+            data = (codewords[i] << 11) & MASK32
+            reg = data
+            for _ in range(21):
+                if reg & 0x80000000:
+                    reg ^= 0xED200000
+                reg = (reg << 1) & MASK32
+            encoded[i] = data | (reg >> 21)
+        checksum ^= encoded[r * 3]
+    for i in range(64):
+        checksum ^= encoded[i]
+    return s32(checksum)
+
+
+POCSAG = Benchmark(
+    name="pocsag",
+    suite="powerstone",
+    description="POCSAG pager BCH(31,21) codeword encoding",
+    source=_POCSAG_SOURCE,
+    reference=_pocsag_reference,
+)
+
+POWERSTONE_BENCHMARKS = [FIR, CRC, BCNT, BLIT, G3FAX, ADPCM, ENGINE, POCSAG]

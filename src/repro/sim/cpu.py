@@ -1,0 +1,389 @@
+"""Functional + cycle-level MIPS-I simulator.
+
+Design notes:
+
+* The text section is pre-decoded once into a flat list; the hot interpreter
+  loop dispatches on mnemonic strings with locals bound for speed.  This is
+  the standard trade-off for an ISS written in pure Python.
+* Timing uses a simple per-class CPI model (:class:`CpiModel`).  Absolute
+  accuracy is not the point -- the paper's hypothetical platform is evaluated
+  through *ratios* (speedup, energy savings) and the CPI model only needs to
+  be a reasonable in-order five-stage approximation.
+* ``break`` halts the machine cleanly (the compiler's ``_start`` stub ends
+  with one).  ``syscall`` is reserved and raises, keeping benchmarks I/O-free.
+* When *profile* is enabled the simulator records per-address execution
+  counts and taken-edge counts.  These are exactly the "profiling results"
+  the paper's partitioner consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.binary.image import Executable
+from repro.binary.loader import load_into_memory
+from repro.errors import SimulationError
+from repro.isa.encoding import decode
+from repro.sim.memory import Memory
+
+STACK_TOP = 0x7FFF_FFF0
+
+#: instruction class names used by the timing and energy models
+CLASS_ALU = "alu"
+CLASS_SHIFT = "shift"
+CLASS_LOAD = "load"
+CLASS_STORE = "store"
+CLASS_BRANCH = "branch"
+CLASS_JUMP = "jump"
+CLASS_MULT = "mult"
+CLASS_DIV = "div"
+CLASS_HILO = "hilo"
+
+_MNEMONIC_CLASS = {
+    "add": CLASS_ALU, "addu": CLASS_ALU, "sub": CLASS_ALU, "subu": CLASS_ALU,
+    "and": CLASS_ALU, "or": CLASS_ALU, "xor": CLASS_ALU, "nor": CLASS_ALU,
+    "slt": CLASS_ALU, "sltu": CLASS_ALU,
+    "addi": CLASS_ALU, "addiu": CLASS_ALU, "slti": CLASS_ALU, "sltiu": CLASS_ALU,
+    "andi": CLASS_ALU, "ori": CLASS_ALU, "xori": CLASS_ALU, "lui": CLASS_ALU,
+    "sll": CLASS_SHIFT, "srl": CLASS_SHIFT, "sra": CLASS_SHIFT,
+    "sllv": CLASS_SHIFT, "srlv": CLASS_SHIFT, "srav": CLASS_SHIFT,
+    "lb": CLASS_LOAD, "lbu": CLASS_LOAD, "lh": CLASS_LOAD, "lhu": CLASS_LOAD,
+    "lw": CLASS_LOAD,
+    "sb": CLASS_STORE, "sh": CLASS_STORE, "sw": CLASS_STORE,
+    "beq": CLASS_BRANCH, "bne": CLASS_BRANCH, "blez": CLASS_BRANCH,
+    "bgtz": CLASS_BRANCH, "bltz": CLASS_BRANCH, "bgez": CLASS_BRANCH,
+    "j": CLASS_JUMP, "jal": CLASS_JUMP, "jr": CLASS_JUMP, "jalr": CLASS_JUMP,
+    "mult": CLASS_MULT, "multu": CLASS_MULT,
+    "div": CLASS_DIV, "divu": CLASS_DIV,
+    "mfhi": CLASS_HILO, "mflo": CLASS_HILO, "mthi": CLASS_HILO, "mtlo": CLASS_HILO,
+    "break": CLASS_JUMP, "syscall": CLASS_JUMP,
+}
+
+
+@dataclass(frozen=True)
+class CpiModel:
+    """Cycles per instruction class for an in-order five-stage MIPS core.
+
+    Memory costs model the paper-era embedded platform: data lives in
+    on-chip SRAM reached over the system bus (no data cache), so loads
+    average 4 cycles and stores 2.  This matches the kind of MIPS system
+    the warp-processing work evaluated against and is the main reason
+    hardware kernels with localized block RAM win big.
+    """
+
+    alu: int = 1
+    shift: int = 1
+    load: int = 4
+    store: int = 2
+    branch: int = 1
+    taken_penalty: int = 1
+    jump: int = 2
+    mult: int = 4
+    div: int = 20
+    hilo: int = 1
+
+    def cycles_for(self, klass: str) -> int:
+        return getattr(self, klass)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    steps: int
+    cycles: int
+    halted: bool
+    exit_pc: int
+    mix: Counter = field(default_factory=Counter)
+    pc_counts: dict[int, int] = field(default_factory=dict)
+    edge_counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.steps if self.steps else 0.0
+
+
+class Cpu:
+    """MIPS-I interpreter over an :class:`Executable` image."""
+
+    def __init__(
+        self,
+        exe: Executable,
+        memory: Memory | None = None,
+        cpi: CpiModel | None = None,
+        profile: bool = False,
+    ):
+        self.exe = exe
+        self.memory = memory if memory is not None else Memory()
+        self.cpi = cpi if cpi is not None else CpiModel()
+        self.profile = profile
+        load_into_memory(exe, self.memory)
+        self._decoded = [decode(word) for word in exe.text_words]
+        self.regs = [0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.pc = exe.entry
+        self.regs[29] = STACK_TOP  # $sp
+
+    # -- helpers -----------------------------------------------------------
+
+    def read_word_global(self, symbol: str, index: int = 0) -> int:
+        """Read a word from a data symbol (test/verification convenience)."""
+        address = self.exe.symbols[symbol].address + 4 * index
+        return self.memory.read_u32(address)
+
+    def read_word_global_signed(self, symbol: str, index: int = 0) -> int:
+        value = self.read_word_global(symbol, index)
+        return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, max_steps: int = 100_000_000) -> RunResult:
+        """Run until ``break`` or *max_steps*; return statistics."""
+        regs = self.regs
+        memory = self.memory
+        text_base = self.exe.text_base
+        text_len = len(self._decoded)
+        decoded = self._decoded
+        cpi = self.cpi
+        mix: Counter = Counter()
+        pc_counts: dict[int, int] = {}
+        edge_counts: dict[tuple[int, int], int] = {}
+        profile = self.profile
+        mnem_class = _MNEMONIC_CLASS
+
+        pc = self.pc
+        hi, lo = self.hi, self.lo
+        steps = 0
+        cycles = 0
+        halted = False
+        mask = 0xFFFF_FFFF
+
+        while steps < max_steps:
+            index = (pc - text_base) >> 2
+            if not 0 <= index < text_len or pc & 3:
+                raise SimulationError(f"pc outside text section: 0x{pc:08x}")
+            instr = decoded[index]
+            mnem = instr.mnemonic
+            steps += 1
+            klass = mnem_class[mnem]
+            cycles += cpi.cycles_for(klass)
+            if profile:
+                pc_counts[pc] = pc_counts.get(pc, 0) + 1
+                mix[klass] += 1
+            next_pc = pc + 4
+
+            if mnem == "addiu" or mnem == "addi":
+                regs[instr.rt] = (regs[instr.rs] + instr.imm) & mask
+            elif mnem == "lw":
+                regs[instr.rt] = memory.read_u32((regs[instr.rs] + instr.imm) & mask)
+            elif mnem == "sw":
+                memory.write_u32((regs[instr.rs] + instr.imm) & mask, regs[instr.rt])
+            elif mnem == "addu" or mnem == "add":
+                regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & mask
+            elif mnem == "subu" or mnem == "sub":
+                regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & mask
+            elif mnem == "sll":
+                regs[instr.rd] = (regs[instr.rt] << instr.shamt) & mask
+            elif mnem == "srl":
+                regs[instr.rd] = regs[instr.rt] >> instr.shamt
+            elif mnem == "sra":
+                value = regs[instr.rt]
+                if value & 0x8000_0000:
+                    value -= 0x1_0000_0000
+                regs[instr.rd] = (value >> instr.shamt) & mask
+            elif mnem == "sllv":
+                regs[instr.rd] = (regs[instr.rt] << (regs[instr.rs] & 31)) & mask
+            elif mnem == "srlv":
+                regs[instr.rd] = regs[instr.rt] >> (regs[instr.rs] & 31)
+            elif mnem == "srav":
+                value = regs[instr.rt]
+                if value & 0x8000_0000:
+                    value -= 0x1_0000_0000
+                regs[instr.rd] = (value >> (regs[instr.rs] & 31)) & mask
+            elif mnem == "and":
+                regs[instr.rd] = regs[instr.rs] & regs[instr.rt]
+            elif mnem == "or":
+                regs[instr.rd] = regs[instr.rs] | regs[instr.rt]
+            elif mnem == "xor":
+                regs[instr.rd] = regs[instr.rs] ^ regs[instr.rt]
+            elif mnem == "nor":
+                regs[instr.rd] = ~(regs[instr.rs] | regs[instr.rt]) & mask
+            elif mnem == "slt":
+                a, b = regs[instr.rs], regs[instr.rt]
+                if a & 0x8000_0000:
+                    a -= 0x1_0000_0000
+                if b & 0x8000_0000:
+                    b -= 0x1_0000_0000
+                regs[instr.rd] = 1 if a < b else 0
+            elif mnem == "sltu":
+                regs[instr.rd] = 1 if regs[instr.rs] < regs[instr.rt] else 0
+            elif mnem == "slti":
+                a = regs[instr.rs]
+                if a & 0x8000_0000:
+                    a -= 0x1_0000_0000
+                regs[instr.rt] = 1 if a < instr.imm else 0
+            elif mnem == "sltiu":
+                regs[instr.rt] = 1 if regs[instr.rs] < (instr.imm & mask) else 0
+            elif mnem == "andi":
+                regs[instr.rt] = regs[instr.rs] & instr.imm
+            elif mnem == "ori":
+                regs[instr.rt] = regs[instr.rs] | instr.imm
+            elif mnem == "xori":
+                regs[instr.rt] = regs[instr.rs] ^ instr.imm
+            elif mnem == "lui":
+                regs[instr.rt] = (instr.imm << 16) & mask
+            elif mnem == "lb":
+                value = memory.read_u8((regs[instr.rs] + instr.imm) & mask)
+                regs[instr.rt] = (value - 0x100 if value & 0x80 else value) & mask
+            elif mnem == "lbu":
+                regs[instr.rt] = memory.read_u8((regs[instr.rs] + instr.imm) & mask)
+            elif mnem == "lh":
+                value = memory.read_u16((regs[instr.rs] + instr.imm) & mask)
+                regs[instr.rt] = (value - 0x1_0000 if value & 0x8000 else value) & mask
+            elif mnem == "lhu":
+                regs[instr.rt] = memory.read_u16((regs[instr.rs] + instr.imm) & mask)
+            elif mnem == "sb":
+                memory.write_u8((regs[instr.rs] + instr.imm) & mask, regs[instr.rt])
+            elif mnem == "sh":
+                memory.write_u16((regs[instr.rs] + instr.imm) & mask, regs[instr.rt])
+            elif mnem == "beq":
+                if regs[instr.rs] == regs[instr.rt]:
+                    next_pc = pc + 4 + (instr.imm << 2)
+                    cycles += cpi.taken_penalty
+                    if profile:
+                        key = (pc, next_pc)
+                        edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "bne":
+                if regs[instr.rs] != regs[instr.rt]:
+                    next_pc = pc + 4 + (instr.imm << 2)
+                    cycles += cpi.taken_penalty
+                    if profile:
+                        key = (pc, next_pc)
+                        edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "blez":
+                value = regs[instr.rs]
+                if value == 0 or value & 0x8000_0000:
+                    next_pc = pc + 4 + (instr.imm << 2)
+                    cycles += cpi.taken_penalty
+                    if profile:
+                        key = (pc, next_pc)
+                        edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "bgtz":
+                value = regs[instr.rs]
+                if value != 0 and not value & 0x8000_0000:
+                    next_pc = pc + 4 + (instr.imm << 2)
+                    cycles += cpi.taken_penalty
+                    if profile:
+                        key = (pc, next_pc)
+                        edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "bltz":
+                if regs[instr.rs] & 0x8000_0000:
+                    next_pc = pc + 4 + (instr.imm << 2)
+                    cycles += cpi.taken_penalty
+                    if profile:
+                        key = (pc, next_pc)
+                        edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "bgez":
+                if not regs[instr.rs] & 0x8000_0000:
+                    next_pc = pc + 4 + (instr.imm << 2)
+                    cycles += cpi.taken_penalty
+                    if profile:
+                        key = (pc, next_pc)
+                        edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "j":
+                next_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
+                if profile:
+                    key = (pc, next_pc)
+                    edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "jal":
+                regs[31] = pc + 4
+                next_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
+                if profile:
+                    key = (pc, ((pc + 4) & 0xF000_0000) | (instr.target << 2))
+                    edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "jr":
+                next_pc = regs[instr.rs]
+                if profile:
+                    key = (pc, next_pc)
+                    edge_counts[key] = edge_counts.get(key, 0) + 1
+            elif mnem == "jalr":
+                regs[instr.rd] = pc + 4
+                next_pc = regs[instr.rs]
+            elif mnem == "mult":
+                a, b = regs[instr.rs], regs[instr.rt]
+                if a & 0x8000_0000:
+                    a -= 0x1_0000_0000
+                if b & 0x8000_0000:
+                    b -= 0x1_0000_0000
+                product = (a * b) & 0xFFFF_FFFF_FFFF_FFFF
+                hi, lo = (product >> 32) & mask, product & mask
+            elif mnem == "multu":
+                product = regs[instr.rs] * regs[instr.rt]
+                hi, lo = (product >> 32) & mask, product & mask
+            elif mnem == "div":
+                a, b = regs[instr.rs], regs[instr.rt]
+                if a & 0x8000_0000:
+                    a -= 0x1_0000_0000
+                if b & 0x8000_0000:
+                    b -= 0x1_0000_0000
+                if b == 0:
+                    hi, lo = a & mask, mask  # MIPS leaves HI/LO undefined; pick stable values
+                else:
+                    quotient = int(a / b)  # C-style truncation toward zero
+                    hi, lo = (a - quotient * b) & mask, quotient & mask
+            elif mnem == "divu":
+                a, b = regs[instr.rs], regs[instr.rt]
+                if b == 0:
+                    hi, lo = a, mask
+                else:
+                    hi, lo = a % b, a // b
+            elif mnem == "mfhi":
+                regs[instr.rd] = hi
+            elif mnem == "mflo":
+                regs[instr.rd] = lo
+            elif mnem == "mthi":
+                hi = regs[instr.rs]
+            elif mnem == "mtlo":
+                lo = regs[instr.rs]
+            elif mnem == "break":
+                halted = True
+                if profile:
+                    pass
+                break
+            elif mnem == "syscall":
+                raise SimulationError(f"syscall executed at 0x{pc:08x}; benchmarks are I/O-free")
+            else:  # pragma: no cover - the decoder only produces known mnemonics
+                raise SimulationError(f"unimplemented mnemonic {mnem}")
+
+            regs[0] = 0
+            pc = next_pc
+
+        self.pc = pc
+        self.hi, self.lo = hi, lo
+        if not halted and steps >= max_steps:
+            raise SimulationError(f"exceeded max_steps={max_steps} (pc=0x{pc:08x})")
+        if not profile:
+            mix = Counter()
+        return RunResult(
+            steps=steps,
+            cycles=cycles,
+            halted=halted,
+            exit_pc=pc,
+            mix=mix,
+            pc_counts=pc_counts,
+            edge_counts=edge_counts,
+        )
+
+
+def run_executable(
+    exe: Executable,
+    profile: bool = False,
+    max_steps: int = 100_000_000,
+    cpi: CpiModel | None = None,
+) -> tuple[Cpu, RunResult]:
+    """Convenience: build a CPU for *exe*, run to halt, return (cpu, result)."""
+    cpu = Cpu(exe, cpi=cpi, profile=profile)
+    result = cpu.run(max_steps=max_steps)
+    return cpu, result

@@ -1,0 +1,91 @@
+"""Sparse byte-addressable memory with MIPS alignment rules."""
+
+from __future__ import annotations
+
+from repro.errors import MemoryFault
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+class Memory:
+    """Sparse 32-bit address space backed by 4 KiB pages.
+
+    All accesses must be naturally aligned (MIPS-I has no unaligned loads in
+    this subset); violations raise :class:`MemoryFault`, which in practice
+    indicates a compiler bug and is tested for.
+    """
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        page = self._pages.get(address >> _PAGE_BITS)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[address >> _PAGE_BITS] = page
+        return page
+
+    # -- byte -------------------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        address &= 0xFFFF_FFFF
+        return self._page(address)[address & _PAGE_MASK]
+
+    def write_u8(self, address: int, value: int) -> None:
+        address &= 0xFFFF_FFFF
+        self._page(address)[address & _PAGE_MASK] = value & 0xFF
+
+    # -- half -------------------------------------------------------------
+
+    def read_u16(self, address: int) -> int:
+        address &= 0xFFFF_FFFF
+        if address & 1:
+            raise MemoryFault(address, "misaligned halfword read")
+        page = self._page(address)
+        offset = address & _PAGE_MASK
+        return page[offset] | (page[offset + 1] << 8)
+
+    def write_u16(self, address: int, value: int) -> None:
+        address &= 0xFFFF_FFFF
+        if address & 1:
+            raise MemoryFault(address, "misaligned halfword write")
+        page = self._page(address)
+        offset = address & _PAGE_MASK
+        page[offset] = value & 0xFF
+        page[offset + 1] = (value >> 8) & 0xFF
+
+    # -- word -------------------------------------------------------------
+
+    def read_u32(self, address: int) -> int:
+        address &= 0xFFFF_FFFF
+        if address & 3:
+            raise MemoryFault(address, "misaligned word read")
+        page = self._page(address)
+        offset = address & _PAGE_MASK
+        return int.from_bytes(page[offset : offset + 4], "little")
+
+    def write_u32(self, address: int, value: int) -> None:
+        address &= 0xFFFF_FFFF
+        if address & 3:
+            raise MemoryFault(address, "misaligned word write")
+        page = self._page(address)
+        offset = address & _PAGE_MASK
+        page[offset : offset + 4] = (value & 0xFFFF_FFFF).to_bytes(4, "little")
+
+    # -- bulk -------------------------------------------------------------
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        for index, byte in enumerate(data):
+            self.write_u8(address + index, byte)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        return bytes(self.read_u8(address + index) for index in range(length))
+
+    def read_words(self, address: int, count: int) -> list[int]:
+        return [self.read_u32(address + 4 * index) for index in range(count)]
+
+    def write_words(self, address: int, words: list[int]) -> None:
+        for index, word in enumerate(words):
+            self.write_u32(address + 4 * index, word)

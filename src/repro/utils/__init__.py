@@ -1,0 +1,26 @@
+"""Small shared utilities: fixed-width integer arithmetic and bit fields.
+
+The simulator, assembler, decompiler and synthesis estimators all manipulate
+32-bit two's-complement values; these helpers keep that arithmetic in one
+place so signedness bugs cannot diverge between stages.
+"""
+
+from repro.utils.bits import (
+    MASK32,
+    bit_length_signed,
+    bit_length_unsigned,
+    bits,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+__all__ = [
+    "MASK32",
+    "bit_length_signed",
+    "bit_length_unsigned",
+    "bits",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+]

@@ -1,0 +1,64 @@
+"""Fixed-width two's-complement helpers used throughout the toolchain."""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFF_FFFF
+
+
+def to_unsigned32(value: int) -> int:
+    """Wrap *value* into the unsigned 32-bit range [0, 2**32)."""
+    return value & MASK32
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of *value* as a signed two's-complement int."""
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the low *width* bits of *value* to a Python int.
+
+    >>> sign_extend(0xFFFF, 16)
+    -1
+    >>> sign_extend(0x7FFF, 16)
+    32767
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    value &= (1 << width) - 1
+    sign_bit = 1 << (width - 1)
+    return value - (1 << width) if value & sign_bit else value
+
+
+def bits(word: int, hi: int, lo: int) -> int:
+    """Extract the inclusive bit field word[hi:lo].
+
+    >>> bits(0xDEADBEEF, 31, 26)
+    55
+    """
+    if hi < lo:
+        raise ValueError(f"bit range [{hi}:{lo}] is inverted")
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def bit_length_unsigned(value: int) -> int:
+    """Minimum number of bits needed to represent *value* as unsigned.
+
+    Zero needs one bit (a wire tied low still occupies a wire).
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    return max(1, value.bit_length())
+
+
+def bit_length_signed(lo: int, hi: int) -> int:
+    """Minimum signed two's-complement width holding every value in [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    width = 1
+    while not (-(1 << (width - 1)) <= lo and hi <= (1 << (width - 1)) - 1):
+        width += 1
+        if width > 64:
+            return 64
+    return width

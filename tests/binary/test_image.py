@@ -1,0 +1,113 @@
+"""Executable image tests: queries, bounds, serialization round trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binary import Executable, Symbol
+from repro.errors import LinkError
+from repro.isa import assemble
+
+_SOURCE = """
+.text
+_start:
+    jal main
+    break
+main:
+    li $v0, 0
+    jr $ra
+helper:
+    jr $ra
+.data
+table: .word 1, 2, 3
+bytes: .byte 9
+"""
+
+
+@pytest.fixture()
+def exe():
+    return assemble(_SOURCE)
+
+
+class TestQueries:
+    def test_function_symbols_sorted(self, exe):
+        names = [s.name for s in exe.function_symbols()]
+        assert names == ["_start", "main", "helper"]
+
+    def test_function_bounds(self, exe):
+        start, end = exe.function_bounds("main")
+        assert start == exe.symbols["main"].address
+        assert end == exe.symbols["helper"].address
+
+    def test_last_function_bounds_end_at_text_end(self, exe):
+        _, end = exe.function_bounds("helper")
+        assert end == exe.text_end
+
+    def test_word_at(self, exe):
+        assert exe.word_at(exe.text_base) == exe.text_words[0]
+
+    def test_word_at_rejects_unaligned(self, exe):
+        with pytest.raises(LinkError):
+            exe.word_at(exe.text_base + 2)
+
+    def test_word_at_rejects_out_of_range(self, exe):
+        with pytest.raises(LinkError):
+            exe.word_at(exe.text_end)
+
+    def test_unknown_function(self, exe):
+        with pytest.raises(LinkError):
+            exe.function_bounds("nope")
+
+    def test_data_symbols_not_text(self, exe):
+        assert not exe.symbols["table"].is_text
+        assert exe.symbols["_start"].is_text
+
+
+class TestSerialization:
+    def test_round_trip(self, exe):
+        blob = exe.to_bytes()
+        restored = Executable.from_bytes(blob)
+        assert restored.entry == exe.entry
+        assert restored.text_words == exe.text_words
+        assert restored.data == exe.data
+        assert restored.symbols == exe.symbols
+
+    def test_bad_magic_rejected(self, exe):
+        blob = bytearray(exe.to_bytes())
+        blob[0] = ord("X")
+        with pytest.raises(LinkError, match="magic"):
+            Executable.from_bytes(bytes(blob))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(LinkError):
+            Executable.from_bytes(b"SX")
+
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=12
+)
+
+
+@given(
+    entry=st.integers(0, 0xFFFF_FFFC),
+    words=st.lists(st.integers(0, 0xFFFF_FFFF), max_size=40),
+    data=st.binary(max_size=64),
+    sym_items=st.dictionaries(names, st.tuples(st.integers(0, 0xFFFF_FFFF), st.booleans()), max_size=8),
+)
+def test_serialization_round_trip_property(entry, words, data, sym_items):
+    symbols = {
+        name: Symbol(name=name, address=addr, is_text=is_text)
+        for name, (addr, is_text) in sym_items.items()
+    }
+    exe = Executable(
+        entry=entry,
+        text_base=0x0040_0000,
+        text_words=words,
+        data_base=0x1001_0000,
+        data=data,
+        symbols=symbols,
+    )
+    restored = Executable.from_bytes(exe.to_bytes())
+    assert restored.entry == exe.entry
+    assert restored.text_words == exe.text_words
+    assert restored.data == exe.data
+    assert restored.symbols == exe.symbols

@@ -1,0 +1,61 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.compiler.lexer import TokenKind, tokenize
+from repro.errors import CompileError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int intx for fortune")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[2].kind is TokenKind.KEYWORD
+        assert tokens[3].kind is TokenKind.IDENT
+
+    def test_decimal_and_hex(self):
+        tokens = tokenize("42 0x2A 0XFF")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 255]
+
+    def test_integer_suffixes_ignored(self):
+        tokens = tokenize("1u 2UL 3L")
+        assert [t.value for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0]
+
+    def test_maximal_munch(self):
+        texts = [t.text for t in tokenize("a<<=b>>c<=d") if t.kind is TokenKind.PUNCT]
+        assert texts == ["<<=", ">>", "<="]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_comments(self):
+        tokens = tokenize("a // comment\nb /* multi\nline */ c")
+        assert [t.text for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_line_count_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+
+class TestLexErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* oops")
+
+    def test_bad_char(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+    def test_unterminated_char(self):
+        with pytest.raises(CompileError):
+            tokenize("'a")

@@ -1,0 +1,163 @@
+"""Parser tests: shapes of declarations, statements, expressions; errors."""
+
+import pytest
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.ctypes import ArrayType, IntType, PointerType
+from repro.compiler.parser import parse
+from repro.errors import CompileError
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x = 5;")
+        assert unit.globals[0].name == "x"
+        assert isinstance(unit.globals[0].ctype, IntType)
+
+    def test_global_array_with_size(self):
+        unit = parse("int a[10];")
+        assert isinstance(unit.globals[0].ctype, ArrayType)
+        assert unit.globals[0].ctype.length == 10
+
+    def test_array_size_inferred(self):
+        unit = parse("int a[] = {1, 2, 3};")
+        assert unit.globals[0].ctype.length == -1
+        assert len(unit.globals[0].init_list) == 3
+
+    def test_unsigned_char_array(self):
+        unit = parse("unsigned char buffer[4];")
+        element = unit.globals[0].ctype.element
+        assert element.size == 1 and not element.signed
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b = 2, *p;")
+        assert [g.name for g in unit.globals] == ["a", "b", "p"]
+        assert isinstance(unit.globals[2].ctype, PointerType)
+
+    def test_function_with_params(self):
+        unit = parse("int f(int a, int *b, char c[]) { return 0; }")
+        params = unit.functions[0].params
+        assert [p.name for p in params] == ["a", "b", "c"]
+        assert isinstance(params[1].ctype, PointerType)
+        assert isinstance(params[2].ctype, PointerType)  # array decays
+
+    def test_prototype(self):
+        unit = parse("int f(int x);")
+        assert unit.functions[0].body is None
+
+    def test_void_params(self):
+        unit = parse("void f(void) { }")
+        assert unit.functions[0].params == []
+
+
+class TestStatements:
+    def _body(self, code):
+        unit = parse(f"void f(void) {{ {code} }}")
+        return unit.functions[0].body.body
+
+    def test_if_else(self):
+        stmt = self._body("if (1) ; else ;")[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = self._body("if (1) if (2) ; else ;")[0]
+        assert stmt.else_body is None
+        assert stmt.then_body.else_body is not None
+
+    def test_for_parts(self):
+        stmt = self._body("for (int i = 0; i < 10; i++) ;")[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_parts(self):
+        stmt = self._body("for (;;) break;")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_do_while(self):
+        stmt = self._body("do { } while (0);")[0]
+        assert isinstance(stmt, ast.DoWhileStmt)
+
+    def test_switch_cases(self):
+        stmt = self._body(
+            "switch (1) { case 1: break; case 2: case 3: break; default: break; }"
+        )[0]
+        assert isinstance(stmt, ast.SwitchStmt)
+        values = [c.value for c in stmt.cases]
+        assert values == [1, 2, 3, None]
+        assert stmt.cases[1].body == []  # fallthrough case is empty
+
+    def test_local_declaration_with_initializer_list(self):
+        stmt = self._body("int a[3] = {1, 2, 3};")[0]
+        assert isinstance(stmt, ast.DeclStmt)
+        assert len(stmt.init_list) == 3
+
+
+class TestExpressions:
+    def _expr(self, code):
+        unit = parse(f"void f(void) {{ x = {code}; }}")
+        return unit.functions[0].body.body[0].expr.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = self._expr("1 << 2 < 3")
+        assert expr.op == "<"
+
+    def test_ternary(self):
+        expr = self._expr("a ? b : c")
+        assert isinstance(expr, ast.ConditionalExpr)
+
+    def test_assignment_right_associative(self):
+        unit = parse("void f(void) { a = b = 1; }")
+        outer = unit.functions[0].body.body[0].expr
+        assert isinstance(outer.value, ast.AssignExpr)
+
+    def test_cast(self):
+        expr = self._expr("(char)300")
+        assert isinstance(expr, ast.CastExpr)
+
+    def test_index_chain_rejected_multidim(self):
+        with pytest.raises(CompileError):
+            parse("int a[2][3];")
+
+    def test_call_args(self):
+        expr = self._expr("g(1, 2 + 3)")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 2
+
+    def test_unary_chain(self):
+        expr = self._expr("-~!x")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+
+    def test_postfix_incdec(self):
+        expr = self._expr("i++")
+        assert isinstance(expr, ast.IncDecExpr)
+        assert not expr.prefix
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("int x = 5")
+
+    def test_duplicate_case(self):
+        with pytest.raises(CompileError, match="duplicate case"):
+            parse("void f(void) { switch (1) { case 1: break; case 1: break; } }")
+
+    def test_duplicate_default(self):
+        with pytest.raises(CompileError, match="duplicate default"):
+            parse("void f(void) { switch (1) { default: break; default: break; } }")
+
+    def test_statement_before_case(self):
+        with pytest.raises(CompileError):
+            parse("void f(void) { switch (1) { x = 1; case 1: break; } }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse("void f(void) { if (1) {")

@@ -1,0 +1,182 @@
+"""Compiler optimization pass tests: each pass does its job and levels
+produce progressively better (or characteristically different) code."""
+
+from repro.compiler import CompilerOptions, compile_source, compile_to_asm
+from repro.compiler.parser import parse
+from repro.compiler.passes.ast_unroll import unroll_loops
+from repro.compiler.passes.strength import decompose_multiplier
+from repro.sim import run_executable
+
+
+_LOOP_PROGRAM = """
+int data[32];
+int checksum;
+int main(void) {
+    int i;
+    int base = 3;
+    for (i = 0; i < 32; i++) {
+        data[i] = (i + base) * 5;
+    }
+    for (i = 0; i < 32; i++) checksum += data[i];
+    return 0;
+}
+"""
+
+
+def _cycles(source: str, level: int) -> int:
+    exe = compile_source(source, opt_level=level)
+    _, result = run_executable(exe)
+    return result.cycles
+
+
+def _size(source: str, level: int) -> int:
+    exe = compile_source(source, opt_level=level)
+    return len(exe.text_words)
+
+
+class TestLevelCharacteristics:
+    def test_o1_beats_o0(self):
+        assert _cycles(_LOOP_PROGRAM, 1) < _cycles(_LOOP_PROGRAM, 0)
+
+    def test_o2_not_worse_than_o1(self):
+        assert _cycles(_LOOP_PROGRAM, 2) <= _cycles(_LOOP_PROGRAM, 1) * 1.05
+
+    def test_o3_grows_code(self):
+        assert _size(_LOOP_PROGRAM, 3) > _size(_LOOP_PROGRAM, 2)
+
+    def test_o0_uses_frame_heavily(self):
+        asm0 = compile_to_asm(_LOOP_PROGRAM, CompilerOptions.from_level(0))
+        asm1 = compile_to_asm(_LOOP_PROGRAM, CompilerOptions.from_level(1))
+        sp_traffic_0 = sum(1 for l in asm0.splitlines() if "($sp)" in l)
+        sp_traffic_1 = sum(1 for l in asm1.splitlines() if "($sp)" in l)
+        assert sp_traffic_0 > 2 * sp_traffic_1
+
+    def test_all_levels_agree(self):
+        values = set()
+        for level in (0, 1, 2, 3):
+            exe = compile_source(_LOOP_PROGRAM, opt_level=level)
+            cpu, _ = run_executable(exe)
+            values.add(cpu.read_word_global_signed("checksum"))
+        assert len(values) == 1
+
+
+class TestStrengthReduction:
+    def test_o2_emits_shift_add_for_constant_mult(self):
+        source = """
+        int checksum;
+        int main(void) { int x = 7; checksum = x * 10; return 0; }
+        """
+        asm2 = compile_to_asm(source, CompilerOptions.from_level(2))
+        # x*10 = (x<<3) + (x<<1): no mult instruction at O2
+        assert "mult" not in asm2
+
+    def test_o1_keeps_mult(self):
+        source = """
+        int checksum;
+        int mul10(int x) { return x * 10; }
+        int main(void) { checksum = mul10(7); return 0; }
+        """
+        asm1 = compile_to_asm(source, CompilerOptions.from_level(1))
+        assert "mult" in asm1
+
+    def test_div_by_power_of_two_has_no_div_at_o2(self):
+        source = """
+        int checksum;
+        int main(void) { int x = -100; checksum = x / 8; return 0; }
+        """
+        asm2 = compile_to_asm(source, CompilerOptions.from_level(2))
+        assert "div" not in asm2.replace("divu", "")
+
+    def test_signed_division_correct_after_reduction(self):
+        source = """
+        int checksum;
+        int helper(int x) { return x / 8 + x % 8; }
+        int main(void) { checksum = helper(-100) * 1000 + helper(100); return 0; }
+        """
+        expected = (-12 + -4) * 1000 + (12 + 4)
+        for level in (0, 1, 2, 3):
+            exe = compile_source(source, opt_level=level)
+            cpu, _ = run_executable(exe)
+            assert cpu.read_word_global_signed("checksum") == expected
+
+
+class TestDecomposeMultiplier:
+    def test_power_of_two(self):
+        assert decompose_multiplier(8) == [("+", 3)]
+
+    def test_ten(self):
+        terms = decompose_multiplier(10)
+        assert terms is not None
+        total = sum((1 if sign == "+" else -1) << shift for sign, shift in terms)
+        assert total == 10
+
+    def test_fifteen_uses_subtraction(self):
+        terms = decompose_multiplier(15)
+        assert terms is not None and len(terms) == 2
+        total = sum((1 if sign == "+" else -1) << shift for sign, shift in terms)
+        assert total == 15
+
+    def test_dense_constant_rejected(self):
+        assert decompose_multiplier(0b1010101010101) is None
+
+    def test_values_round_trip(self):
+        for value in range(1, 300):
+            terms = decompose_multiplier(value)
+            if terms is None:
+                continue
+            total = sum((1 if sign == "+" else -1) << shift for sign, shift in terms)
+            assert total == value, value
+
+
+class TestAstUnroll:
+    def test_unrolls_simple_counted_loop(self):
+        unit = parse(
+            "int a[64]; int main(void) { int i;"
+            " for (i = 0; i < 64; i++) a[i] = i; return 0; }"
+        )
+        assert unroll_loops(unit) == 1
+
+    def test_skips_loop_with_break(self):
+        unit = parse(
+            "int a[64]; int main(void) { int i;"
+            " for (i = 0; i < 64; i++) { if (i == 5) break; a[i] = i; } return 0; }"
+        )
+        assert unroll_loops(unit) == 0
+
+    def test_skips_induction_write_in_body(self):
+        unit = parse(
+            "int a[64]; int main(void) { int i;"
+            " for (i = 0; i < 64; i++) { a[i] = i; i = i + 1; } return 0; }"
+        )
+        assert unroll_loops(unit) == 0
+
+    def test_skips_call_with_global_bound(self):
+        unit = parse(
+            "int n; int f(void) { return 1; }"
+            " int a[64]; int main(void) { int i;"
+            " for (i = 0; i < n; i++) a[i] = f(); return 0; }"
+        )
+        assert unroll_loops(unit) == 0
+
+    def test_unrolls_innermost_only(self):
+        unit = parse(
+            "int a[64]; int main(void) { int i; int j;"
+            " for (i = 0; i < 8; i++) for (j = 0; j < 8; j++) a[i*8+j] = j; return 0; }"
+        )
+        assert unroll_loops(unit) == 1
+
+    def test_remainder_loop_correct(self):
+        # 10 iterations with factor 4: 8 in the main loop + 2 remainder
+        source = """
+        int total;
+        int checksum;
+        int main(void) {
+            int i;
+            for (i = 0; i < 10; i++) total += i;
+            checksum = total;
+            return 0;
+        }
+        """
+        exe = compile_source(source, opt_level=3)
+        cpu, _ = run_executable(exe)
+        assert cpu.read_word_global_signed("checksum") == 45

@@ -1,0 +1,105 @@
+"""Unit and property tests for the fixed-width integer helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    MASK32,
+    bit_length_signed,
+    bit_length_unsigned,
+    bits,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+
+class TestToSigned32:
+    def test_positive(self):
+        assert to_signed32(5) == 5
+
+    def test_max_positive(self):
+        assert to_signed32(0x7FFF_FFFF) == 0x7FFF_FFFF
+
+    def test_min_negative(self):
+        assert to_signed32(0x8000_0000) == -0x8000_0000
+
+    def test_minus_one(self):
+        assert to_signed32(0xFFFF_FFFF) == -1
+
+    def test_wraps_large(self):
+        assert to_signed32(0x1_0000_0001) == 1
+
+
+class TestToUnsigned32:
+    def test_negative_wraps(self):
+        assert to_unsigned32(-1) == 0xFFFF_FFFF
+
+    def test_identity_in_range(self):
+        assert to_unsigned32(12345) == 12345
+
+
+class TestSignExtend:
+    def test_16_bit_negative(self):
+        assert sign_extend(0xFFFF, 16) == -1
+
+    def test_16_bit_positive(self):
+        assert sign_extend(0x7FFF, 16) == 32767
+
+    def test_8_bit(self):
+        assert sign_extend(0x80, 8) == -128
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+
+class TestBits:
+    def test_opcode_field(self):
+        assert bits(0xDEADBEEF, 31, 26) == 0xDEADBEEF >> 26
+
+    def test_single_bit(self):
+        assert bits(0b1000, 3, 3) == 1
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits(0, 0, 5)
+
+
+class TestBitLengths:
+    def test_zero_needs_one_bit(self):
+        assert bit_length_unsigned(0) == 1
+
+    def test_255_needs_8(self):
+        assert bit_length_unsigned(255) == 8
+
+    def test_signed_range(self):
+        assert bit_length_signed(-128, 127) == 8
+        assert bit_length_signed(0, 127) == 8
+        assert bit_length_signed(-1, 0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length_unsigned(-1)
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+def test_signed_unsigned_round_trip(value):
+    assert to_unsigned32(to_signed32(value)) == value & MASK32
+
+
+@given(st.integers(min_value=0, max_value=MASK32))
+def test_to_signed_is_congruent_mod_2_32(value):
+    assert to_signed32(value) % (1 << 32) == value
+
+
+@given(st.integers(min_value=0, max_value=MASK32), st.integers(1, 32))
+def test_sign_extend_preserves_low_bits(value, width):
+    extended = sign_extend(value, width)
+    assert extended & ((1 << width) - 1) == value & ((1 << width) - 1)
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_bit_length_signed_sound(value):
+    width = bit_length_signed(value, value)
+    assert -(1 << (width - 1)) <= value <= (1 << (width - 1)) - 1

@@ -1,0 +1,102 @@
+"""Platform model tests: power arithmetic, speedup/energy invariants."""
+
+import pytest
+
+from repro.flow import run_flow
+from repro.platform import (
+    CpuPowerModel,
+    FpgaPowerModel,
+    MIPS_200MHZ,
+    MIPS_400MHZ,
+    MIPS_40MHZ,
+    Platform,
+    evaluate_partition,
+)
+
+_KERNEL = """
+int data[128];
+int checksum;
+int main(void) {
+    int i; int r;
+    for (r = 0; r < 25; r++)
+        for (i = 0; i < 128; i++) data[i] = (data[i] + i) * 3;
+    checksum = data[17];
+    return 0;
+}
+"""
+
+
+class TestPowerModels:
+    def test_cpu_power_scales_with_clock(self):
+        model = CpuPowerModel()
+        assert model.active_mw(400) > model.active_mw(200) > model.active_mw(40)
+
+    def test_idle_below_active(self):
+        model = CpuPowerModel()
+        assert model.idle_mw(200) < model.active_mw(200)
+
+    def test_fpga_power_scales_with_gates_and_clock(self):
+        model = FpgaPowerModel()
+        assert model.power_mw(50_000, 100) > model.power_mw(25_000, 100)
+        assert model.power_mw(25_000, 200) > model.power_mw(25_000, 100)
+
+    def test_fpga_static_floor(self):
+        model = FpgaPowerModel()
+        assert model.power_mw(0, 0) == model.static_mw
+
+
+class TestMetricsInvariants:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_flow(_KERNEL, "kernel", opt_level=1, platform=MIPS_200MHZ)
+
+    def test_empty_partition_is_identity(self, report):
+        metrics = evaluate_partition(MIPS_200MHZ, report.profile.total_cycles, [])
+        assert metrics.app_speedup == 1.0
+        assert metrics.energy_savings == pytest.approx(
+            1.0 - metrics.energy_hw_mj / metrics.energy_sw_mj
+        )
+
+    def test_hw_time_below_sw_time(self, report):
+        assert report.metrics.hw_seconds < report.metrics.sw_seconds
+
+    def test_energy_components_positive(self, report):
+        assert report.metrics.energy_sw_mj > 0
+        assert report.metrics.energy_hw_mj > 0
+
+    def test_kernel_speedups_consistent(self, report):
+        for k in report.metrics.kernels:
+            assert k.speedup == pytest.approx(k.sw_seconds / k.hw_seconds)
+
+    def test_kernel_fraction_close_to_ninety_ten(self, report):
+        # this benchmark is one hot loop: the hardware partition should
+        # cover the vast majority of software time
+        assert report.metrics.kernel_fraction > 0.8
+
+
+class TestPlatformSweepShape:
+    """The paper's platform observation: slower CPUs benefit more."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            plat.cpu_clock_mhz: run_flow(_KERNEL, "kernel", opt_level=1, platform=plat)
+            for plat in (MIPS_40MHZ, MIPS_200MHZ, MIPS_400MHZ)
+        }
+
+    def test_speedup_decreases_with_cpu_clock(self, reports):
+        assert reports[40.0].app_speedup > reports[200.0].app_speedup > reports[400.0].app_speedup
+
+    def test_energy_savings_decrease_with_cpu_clock(self, reports):
+        assert (
+            reports[40.0].energy_savings
+            > reports[200.0].energy_savings
+            > reports[400.0].energy_savings
+        )
+
+    def test_speedup_above_one_everywhere(self, reports):
+        assert all(r.app_speedup > 1.0 for r in reports.values())
+
+    def test_sw_cycles_identical_across_platforms(self, reports):
+        cycles = {r.run.cycles for r in reports.values()}
+        assert len(cycles) == 1  # same binary, same workload

@@ -1,0 +1,100 @@
+"""Benchmark-suite validation: every program's simulated checksum matches
+its independent Python reference model, the decompiled CDFG agrees with the
+simulator, and the two designed recovery failures fail.
+
+The full 20-benchmark x multi-level matrix runs in the experiment harness;
+here O1 covers every benchmark and a rotating subset covers O0/O2/O3 to
+keep the suite fast.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.decompile import decompile
+from repro.decompile.interp import CdfgInterpreter
+from repro.programs import ALL_BENCHMARKS, BENCHMARKS_BY_NAME, by_suite, get_benchmark
+from repro.sim import run_executable
+
+_DEEP_LEVEL_BENCHMARKS = ["brev", "fir", "adpcm", "jpegdct", "canrdr", "g3fax"]
+
+
+class TestRegistry:
+    def test_twenty_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 20
+
+    def test_suite_composition(self):
+        assert len(by_suite("custom")) == 3
+        assert len(by_suite("powerstone")) == 8
+        assert len(by_suite("mediabench")) == 4
+        assert len(by_suite("eembc")) == 5
+
+    def test_exactly_two_expected_failures(self):
+        failing = [b.name for b in ALL_BENCHMARKS if b.expect_recovery_failure]
+        assert sorted(failing) == ["tblook", "ttsprk"]
+        assert all(get_benchmark(n).suite == "eembc" for n in failing)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("quux")
+
+    def test_names_unique(self):
+        assert len(BENCHMARKS_BY_NAME) == len(ALL_BENCHMARKS)
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+def test_simulator_matches_reference_O1(bench):
+    exe = compile_source(bench.source, opt_level=1)
+    cpu, result = run_executable(exe)
+    assert result.halted
+    got = cpu.read_word_global_signed(bench.checksum_symbol)
+    assert got == bench.expected_checksum()
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+def test_decompiler_agrees_or_fails_as_designed_O1(bench):
+    exe = compile_source(bench.source, opt_level=1)
+    program = decompile(exe)
+    if bench.expect_recovery_failure:
+        assert not program.recovered
+        assert any(f.reason == "indirect jump" for f in program.failures)
+        return
+    assert program.recovered, program.failures
+    interp = CdfgInterpreter(program)
+    interp.run_main()
+    value = interp.memory.read_u32(exe.symbols[bench.checksum_symbol].address)
+    value = value - 0x1_0000_0000 if value & 0x8000_0000 else value
+    assert value == bench.expected_checksum()
+
+
+@pytest.mark.parametrize("name", _DEEP_LEVEL_BENCHMARKS)
+@pytest.mark.parametrize("level", [0, 2, 3])
+def test_deep_benchmarks_all_levels(name, level):
+    bench = get_benchmark(name)
+    exe = compile_source(bench.source, opt_level=level)
+    cpu, _ = run_executable(exe)
+    expected = bench.expected_checksum()
+    assert cpu.read_word_global_signed(bench.checksum_symbol) == expected
+    program = decompile(exe)
+    assert program.recovered
+    interp = CdfgInterpreter(program)
+    interp.run_main()
+    value = interp.memory.read_u32(exe.symbols[bench.checksum_symbol].address)
+    value = value - 0x1_0000_0000 if value & 0x8000_0000 else value
+    assert value == expected
+
+
+class TestWorkloadShape:
+    def test_hot_loops_dominate(self):
+        # the 90-10 premise: for a representative subset, the hottest few
+        # loops carry most of the cycles
+        from repro.partition import build_profile
+
+        for name in ("fir", "crc", "bcnt"):
+            bench = get_benchmark(name)
+            exe = compile_source(bench.source, opt_level=1)
+            program = decompile(exe)
+            _, run = run_executable(exe, profile=True)
+            profile = build_profile(exe, program, run)
+            top = profile.hot_loops()[:3]
+            covered = sum(lp.sw_cycles for lp in top)
+            assert covered / profile.total_cycles > 0.7, name

@@ -1,0 +1,75 @@
+"""Memory model tests: byte order, alignment, sparseness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.sim import Memory
+
+
+class TestAccess:
+    def test_little_endian_word(self):
+        mem = Memory()
+        mem.write_u32(0x1000, 0x11223344)
+        assert mem.read_u8(0x1000) == 0x44
+        assert mem.read_u8(0x1003) == 0x11
+
+    def test_halfword(self):
+        mem = Memory()
+        mem.write_u16(0x2000, 0xBEEF)
+        assert mem.read_u16(0x2000) == 0xBEEF
+        assert mem.read_u8(0x2000) == 0xEF
+
+    def test_uninitialized_reads_zero(self):
+        mem = Memory()
+        assert mem.read_u32(0xDEAD_BEE0) == 0
+
+    def test_word_masks_high_bits(self):
+        mem = Memory()
+        mem.write_u32(0, 0x1_2345_6789)
+        assert mem.read_u32(0) == 0x2345_6789
+
+    def test_page_straddling_bulk(self):
+        mem = Memory()
+        base = 0x1000 - 2
+        mem.write_bytes(base, b"\x01\x02\x03\x04")
+        assert mem.read_bytes(base, 4) == b"\x01\x02\x03\x04"
+
+    def test_words_helpers(self):
+        mem = Memory()
+        mem.write_words(0x3000, [1, 2, 3])
+        assert mem.read_words(0x3000, 3) == [1, 2, 3]
+
+
+class TestAlignment:
+    def test_misaligned_word_read(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_u32(0x1001)
+
+    def test_misaligned_word_write(self):
+        with pytest.raises(MemoryFault):
+            Memory().write_u32(0x1002, 0)
+
+    def test_misaligned_half(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_u16(0x1001)
+
+
+@given(
+    addr=st.integers(0, 0xFFFF_FFF0).map(lambda a: a & ~3),
+    value=st.integers(0, 0xFFFF_FFFF),
+)
+def test_word_round_trip(addr, value):
+    mem = Memory()
+    mem.write_u32(addr, value)
+    assert mem.read_u32(addr) == value
+
+
+@given(
+    addr=st.integers(0, 0xFFFF_FF00),
+    data=st.binary(min_size=1, max_size=32),
+)
+def test_bulk_round_trip(addr, data):
+    mem = Memory()
+    mem.write_bytes(addr, data)
+    assert mem.read_bytes(addr, len(data)) == data

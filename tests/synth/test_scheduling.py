@@ -1,0 +1,141 @@
+"""Scheduling tests: directed cases plus hypothesis properties on random
+DFGs (dependences respected, resource limits honoured, list >= ASAP)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.decompile.cdfg import Dfg, DfgEdge
+from repro.decompile.microop import Imm, Loc, MicroOp, Opcode
+from repro.synth.fpga import TechnologyModel
+from repro.synth.scheduling import (
+    ResourceConstraints,
+    alap_schedule,
+    asap_schedule,
+    list_schedule,
+)
+
+_TECH = TechnologyModel()
+
+
+def _op(opcode, index):
+    return MicroOp(opcode, dst=Loc(f"T{index}"), a=Loc("R8"), b=Loc("R9"))
+
+
+def _chain_dfg(opcodes):
+    """A linear dependence chain of the given opcodes."""
+    ops = [_op(code, index) for index, code in enumerate(opcodes)]
+    dfg = Dfg(ops=ops)
+    for index in range(1, len(ops)):
+        dfg.edges.append(DfgEdge(index - 1, index, "data"))
+    return dfg
+
+
+def _parallel_dfg(opcodes):
+    return Dfg(ops=[_op(code, index) for index, code in enumerate(opcodes)])
+
+
+class TestAsapAlap:
+    def test_chain_length_sums_latencies(self):
+        dfg = _chain_dfg([Opcode.ADD, Opcode.MUL, Opcode.ADD])
+        schedule = asap_schedule(dfg, _TECH)
+        # add(1) -> mul(2) -> add(1)
+        assert schedule.length == 4
+
+    def test_alap_within_asap_length(self):
+        dfg = _chain_dfg([Opcode.ADD] * 5)
+        asap = asap_schedule(dfg, _TECH)
+        alap = alap_schedule(dfg, asap.length, _TECH)
+        for node in range(5):
+            assert alap.start_cycle[node] >= asap.start_cycle[node]
+
+    def test_independent_ops_start_at_zero_asap(self):
+        dfg = _parallel_dfg([Opcode.ADD] * 4)
+        schedule = asap_schedule(dfg, _TECH)
+        assert all(c == 0 for c in schedule.start_cycle.values())
+
+
+class TestListScheduling:
+    def test_resource_limit_serializes(self):
+        dfg = _parallel_dfg([Opcode.MUL] * 4)
+        tight = list_schedule(dfg, ResourceConstraints(mul=1), _TECH)
+        loose = list_schedule(dfg, ResourceConstraints(mul=4), _TECH)
+        assert tight.length > loose.length
+
+    def test_chaining_packs_logic_ops(self):
+        # four dependent logic ops chain into far fewer cycles than four
+        dfg = _chain_dfg([Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.AND])
+        schedule = list_schedule(dfg, ResourceConstraints(), _TECH)
+        assert schedule.length <= 2
+
+    def test_multicycle_ops_do_not_chain(self):
+        dfg = _chain_dfg([Opcode.AND, Opcode.MUL])
+        schedule = list_schedule(dfg, ResourceConstraints(), _TECH)
+        # the multiplier starts at a register boundary after the AND's cycle
+        assert schedule.start_cycle[1] > schedule.start_cycle[0]
+
+    def test_empty_dfg(self):
+        schedule = list_schedule(Dfg(ops=[]), ResourceConstraints(), _TECH)
+        assert schedule.length == 0
+
+
+# -- property-based: random DAGs -------------------------------------------
+
+_OPCODES = [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.MUL, Opcode.SHL, Opcode.LT]
+
+
+@st.composite
+def random_dfgs(draw):
+    count = draw(st.integers(1, 14))
+    ops = []
+    for index in range(count):
+        code = draw(st.sampled_from(_OPCODES))
+        if code is Opcode.SHL:
+            ops.append(MicroOp(code, dst=Loc(f"T{index}"), a=Loc("R8"), b=Imm(3)))
+        else:
+            ops.append(_op(code, index))
+    dfg = Dfg(ops=ops)
+    for dst in range(1, count):
+        for src in range(dst):
+            if draw(st.booleans()) and draw(st.booleans()):
+                dfg.edges.append(DfgEdge(src, dst, "data"))
+    return dfg
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dfgs(), st.integers(1, 3), st.integers(1, 2))
+def test_list_schedule_respects_dependences_and_resources(dfg, alus, muls):
+    constraints = ResourceConstraints(alu=alus, mul=muls)
+    schedule = list_schedule(dfg, constraints, _TECH)
+
+    # every op scheduled exactly once
+    assert set(schedule.start_cycle) == set(range(len(dfg.ops)))
+
+    # dependences: a consumer never starts before its producer starts, and
+    # only shares the producer's cycle via legal chaining (single-cycle ops)
+    for edge in dfg.edges:
+        src_start = schedule.start_cycle[edge.src]
+        dst_start = schedule.start_cycle[edge.dst]
+        src_end = src_start + schedule.latency[edge.src]
+        assert dst_start >= src_start
+        if dst_start < src_end:
+            assert schedule.latency[edge.src] == 1
+            assert dst_start == src_start
+
+    # resource limits per cycle (constrained classes only)
+    for cycle in range(schedule.length):
+        usage = {}
+        for node in schedule.start_cycle:
+            start = schedule.start_cycle[node]
+            if start <= cycle < start + schedule.latency[node]:
+                klass = _TECH.op_cost(dfg.ops[node]).unit_class
+                usage[klass] = usage.get(klass, 0) + 1
+        assert usage.get("alu", 0) <= alus
+        assert usage.get("mul", 0) <= muls
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dfgs())
+def test_list_schedule_never_beats_asap(dfg):
+    asap = asap_schedule(dfg, _TECH)
+    listed = list_schedule(dfg, ResourceConstraints(alu=64, mul=64, mem=64, div=64), _TECH)
+    # with effectively unlimited resources, chaining can only help
+    assert listed.length <= asap.length
