@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Simulator throughput benchmark: raw instr/s and whole-suite sweep time.
+
+Writes ``BENCH_sim.json`` next to the repo root so perf changes leave a
+trajectory future PRs can regress against:
+
+    python benchmarks/bench_sim_throughput.py [-o BENCH_sim.json]
+
+Reported numbers:
+
+* ``single_run`` -- raw simulation throughput (million instr/s) on a few
+  representative benchmarks, profiled and unprofiled, best of N runs.
+* ``sweep`` -- wall-clock seconds for the full 20-benchmark single-platform
+  flow sweep (compile + simulate + decompile + partition + synthesize),
+  serial and through the parallel runner.
+
+Seed baseline for reference (PR 1): ~0.96M instr/s on ``brev``, ~5.8 s for
+the serial sweep, with the old string-dispatch interpreter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.compiler.driver import compile_source
+from repro.flow import FlowJob, run_flows
+from repro.programs import ALL_BENCHMARKS, get_benchmark
+from repro.sim.cpu import Cpu
+
+SINGLE_RUN_BENCHMARKS = ["brev", "crc", "fir", "adpcm"]
+REPEATS = 5
+
+
+def time_single_run(name: str, profile: bool) -> dict:
+    exe = compile_source(get_benchmark(name).source)
+    best = float("inf")
+    steps = 0
+    for _ in range(REPEATS):
+        cpu = Cpu(exe, profile=profile)
+        start = time.perf_counter()
+        result = cpu.run()
+        best = min(best, time.perf_counter() - start)
+        steps = result.steps
+    return {
+        "steps": steps,
+        "seconds": round(best, 6),
+        "mips": round(steps / best / 1e6, 3),
+    }
+
+
+def time_sweep(max_workers: int | None) -> float:
+    jobs = [FlowJob(source=bench.source, name=bench.name) for bench in ALL_BENCHMARKS]
+    start = time.perf_counter()
+    run_flows(jobs, max_workers=max_workers)
+    return round(time.perf_counter() - start, 3)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sim.json"),
+    )
+    args = parser.parse_args()
+
+    single = {}
+    for name in SINGLE_RUN_BENCHMARKS:
+        single[name] = {
+            "no_profile": time_single_run(name, profile=False),
+            "profile": time_single_run(name, profile=True),
+        }
+        row = single[name]
+        print(f"{name:8s} {row['no_profile']['mips']:7.2f}M instr/s "
+              f"({row['profile']['mips']:.2f}M profiled)")
+
+    serial = time_sweep(max_workers=1)
+    print(f"sweep    {serial:7.2f}s serial (20 benchmarks, 200 MHz platform)")
+    parallel = time_sweep(max_workers=None)
+    workers = os.cpu_count() or 1
+    print(f"sweep    {parallel:7.2f}s parallel ({workers} workers)")
+
+    payload = {
+        "benchmark": "sim_throughput",
+        "cpu_count": workers,
+        "single_run": single,
+        "sweep": {
+            "benchmarks": len(ALL_BENCHMARKS),
+            "serial_seconds": serial,
+            "parallel_seconds": parallel,
+            "parallel_workers": workers,
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.flow import FlowReport, run_flow
+from repro.flow import FlowJob, FlowReport, run_flow, run_flows
 from repro.platform import MIPS_200MHZ, MIPS_400MHZ, MIPS_40MHZ, Platform
 from repro.programs import ALL_BENCHMARKS, get_benchmark
 
@@ -42,8 +42,26 @@ class FlowCache:
         return self._reports[key]
 
     def all_reports(self, opt_level: int = 1, cpu_mhz: float = 200.0) -> list[FlowReport]:
+        missing = [
+            bench
+            for bench in ALL_BENCHMARKS
+            if (bench.name, opt_level, cpu_mhz) not in self._reports
+        ]
+        if missing:
+            jobs = [
+                FlowJob(
+                    source=bench.source,
+                    name=bench.name,
+                    opt_level=opt_level,
+                    platform=PLATFORMS[cpu_mhz],
+                )
+                for bench in missing
+            ]
+            for bench, report in zip(missing, run_flows(jobs)):
+                self._reports[(bench.name, opt_level, cpu_mhz)] = report
         return [
-            self.report(bench.name, opt_level, cpu_mhz) for bench in ALL_BENCHMARKS
+            self._reports[(bench.name, opt_level, cpu_mhz)]
+            for bench in ALL_BENCHMARKS
         ]
 
 

@@ -6,17 +6,19 @@ decompilation-based partitioning flow over the EEMBC / PowerStone /
 MediaBench / custom suite and prints the per-benchmark table plus the
 platform-sweep averages next to the paper's reported numbers.
 
-Expect a few minutes of runtime (every benchmark is compiled, simulated
-cycle by cycle, decompiled, partitioned and synthesized -- at three CPU
-clock frequencies).
+Every benchmark is compiled, simulated cycle by cycle, decompiled,
+partitioned and synthesized -- at three CPU clock frequencies.  All
+platform x benchmark flow runs are independent, so they are fanned out
+over a process pool (``repro.flow.run_flows``) and use every core.
 
-Run:  python examples/full_study.py [--fast]
+Run:  python examples/full_study.py [--fast] [--serial]
       --fast limits the study to the 200 MHz platform.
+      --serial disables the process pool (one run at a time).
 """
 
 import sys
 
-from repro.flow import run_flow
+from repro.flow import FlowJob, run_flows
 from repro.platform import MIPS_200MHZ, MIPS_400MHZ, MIPS_40MHZ
 from repro.programs import ALL_BENCHMARKS
 
@@ -27,7 +29,7 @@ PAPER = {
 }
 
 
-def run_platform(platform):
+def run_platform(platform, reports):
     print(f"\n===== {platform.name} =====")
     header = (
         f"{'benchmark':10s} {'suite':11s} {'recovered':9s} {'speedup':>8s} "
@@ -35,10 +37,7 @@ def run_platform(platform):
     )
     print(header)
     print("-" * len(header))
-    reports = []
-    for bench in ALL_BENCHMARKS:
-        report = run_flow(bench.source, bench.name, opt_level=1, platform=platform)
-        reports.append(report)
+    for bench, report in zip(ALL_BENCHMARKS, reports):
         if report.recovered:
             print(
                 f"{bench.name:10s} {bench.suite:11s} {'yes':9s} "
@@ -70,10 +69,18 @@ def run_platform(platform):
 
 def main() -> None:
     fast = "--fast" in sys.argv
+    serial = "--serial" in sys.argv
     platforms = [MIPS_200MHZ] if fast else [MIPS_40MHZ, MIPS_200MHZ, MIPS_400MHZ]
+    jobs = [
+        FlowJob(source=bench.source, name=bench.name, opt_level=1, platform=platform)
+        for platform in platforms
+        for bench in ALL_BENCHMARKS
+    ]
+    reports = run_flows(jobs, max_workers=1 if serial else None)
     summary = {}
-    for platform in platforms:
-        summary[platform.cpu_clock_mhz] = run_platform(platform)
+    for position, platform in enumerate(platforms):
+        chunk = reports[position * len(ALL_BENCHMARKS) : (position + 1) * len(ALL_BENCHMARKS)]
+        summary[platform.cpu_clock_mhz] = run_platform(platform, chunk)
 
     if len(summary) > 1:
         print("\n===== platform sweep summary (measured vs paper) =====")

@@ -17,6 +17,9 @@ software binary, after any compiler.  This CLI is that tool:
 
     # dump synthesized VHDL for the hottest loop
     python -m repro vhdl kernel.sxe -o kernel.vhd
+
+    # sweep the built-in benchmark suite across platforms, in parallel
+    python -m repro sweep --cpu-mhz 40 200 400
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from repro.binary.image import Executable
 from repro.compiler.driver import CompilerOptions, compile_source
 from repro.decompile.decompiler import DecompilationOptions, decompile
 from repro.decompile.structure import render_pseudocode
-from repro.flow import run_flow_on_executable
+from repro.flow import FlowJob, run_flow_on_executable, run_flows
 from repro.platform.platform import Platform
 from repro.sim.cpu import run_executable
 from repro.synth.fpga import VIRTEX2_DEVICES
@@ -141,6 +144,49 @@ def cmd_vhdl(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.programs import ALL_BENCHMARKS, get_benchmark
+
+    if args.benchmarks:
+        benches = [get_benchmark(name) for name in args.benchmarks]
+    else:
+        benches = list(ALL_BENCHMARKS)
+    device = VIRTEX2_DEVICES[args.device]
+    platforms = [
+        Platform(name=f"MIPS-{mhz:.0f}MHz + {args.device}",
+                 cpu_clock_mhz=mhz, device=device)
+        for mhz in args.cpu_mhz
+    ]
+    jobs = [
+        FlowJob(source=bench.source, name=bench.name,
+                opt_level=args.opt_level, platform=platform)
+        for platform in platforms
+        for bench in benches
+    ]
+    reports = run_flows(jobs, max_workers=1 if args.serial else args.jobs)
+    failed = 0
+    for platform in platforms:
+        print(f"===== {platform.name} (-O{args.opt_level}) =====")
+        chunk, reports = reports[: len(benches)], reports[len(benches):]
+        for report in chunk:
+            if report.recovered:
+                print(f"  {report.name:10s} speedup {report.app_speedup:6.2f}x  "
+                      f"kernel {report.kernel_speedup:6.1f}x  "
+                      f"energy {100 * report.energy_savings:5.1f}%  "
+                      f"{report.area_gates:8,.0f} gates")
+            else:
+                failed += 1
+                print(f"  {report.name:10s} RECOVERY FAILED "
+                      f"({report.failure_reason})")
+        ok = [r for r in chunk if r.recovered]
+        if ok:
+            print(f"  {'AVERAGE':10s} speedup "
+                  f"{sum(r.app_speedup for r in ok) / len(ok):6.2f}x  "
+                  f"energy {100 * sum(r.energy_savings for r in ok) / len(ok):5.1f}%  "
+                  f"({len(ok)}/{len(chunk)} recovered)")
+    return 1 if failed == len(jobs) else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -180,6 +226,19 @@ def main(argv=None) -> int:
     p.add_argument("-o", "--output")
     p.add_argument("--jump-tables", action="store_true")
     p.set_defaults(fn=cmd_vhdl)
+
+    p = sub.add_parser("sweep", help="run the benchmark suite across platforms "
+                                     "using all cores")
+    p.add_argument("benchmarks", nargs="*",
+                   help="benchmark names (default: the full 20-benchmark suite)")
+    p.add_argument("--cpu-mhz", type=float, nargs="+", default=[200.0])
+    p.add_argument("-O", dest="opt_level", type=int, default=1, choices=[0, 1, 2, 3])
+    p.add_argument("--device", default="xc2v250", choices=sorted(VIRTEX2_DEVICES))
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count)")
+    p.add_argument("--serial", action="store_true",
+                   help="disable the process pool")
+    p.set_defaults(fn=cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -7,11 +7,21 @@ everything the paper reports: application/kernel speedup, energy savings,
 hardware area, and the decompilation recovery statistics.  CDFG recovery
 failures (indirect jumps) are caught and reported as software-only results,
 exactly how the paper handles its two failing EEMBC benchmarks.
+
+Sweeps (many benchmarks x platforms x opt levels) should go through
+:func:`run_flows`, which fans the independent flow runs out over a process
+pool -- each run is CPU-bound pure Python, so processes (not threads) are
+what actually scales with cores.  It degrades gracefully to in-process
+serial execution on single-core boxes or when the host forbids spawning
+worker processes.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.binary.image import Executable
 from repro.compiler.driver import CompilerOptions, compile_source
@@ -108,6 +118,73 @@ def run_flow(
         synthesis_options=synthesis_options,
         max_steps=max_steps,
     )
+
+
+@dataclass(frozen=True)
+class FlowJob:
+    """One unit of sweep work for :func:`run_flows`."""
+
+    source: str
+    name: str = "benchmark"
+    opt_level: int = 1
+    platform: Platform = MIPS_200MHZ
+    max_steps: int = 200_000_000
+
+
+def _execute_job(job: FlowJob) -> FlowReport:
+    return run_flow(
+        job.source,
+        job.name,
+        opt_level=job.opt_level,
+        platform=job.platform,
+        max_steps=job.max_steps,
+    )
+
+
+class _JobFailure(Exception):
+    """Wraps an exception raised inside a worker process, so the parent can
+    tell job errors apart from pool-infrastructure errors (only the latter
+    warrant falling back to serial execution)."""
+
+    def __init__(self, cause: BaseException):
+        super().__init__(cause)
+        self.cause = cause
+
+
+def _execute_job_guarded(job: FlowJob) -> FlowReport:
+    try:
+        return _execute_job(job)
+    except Exception as exc:
+        raise _JobFailure(exc) from exc
+
+
+def run_flows(
+    jobs: Iterable[FlowJob],
+    max_workers: int | None = None,
+) -> list[FlowReport]:
+    """Run many independent flows, in parallel when the host allows it.
+
+    Reports come back in job order.  *max_workers* defaults to the CPU
+    count; pass ``1`` to force serial in-process execution (useful under
+    debuggers and in tests).  Flow runs are deterministic, so the parallel
+    and serial paths produce identical reports.
+    """
+    job_list: Sequence[FlowJob] = list(jobs)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    max_workers = min(max_workers, len(job_list))
+    if max_workers <= 1:
+        return [_execute_job(job) for job in job_list]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_execute_job_guarded, job_list))
+    except _JobFailure as failure:
+        # re-raise the job's own exception; keep concurrent.futures'
+        # _RemoteTraceback chained so the worker-side frames stay visible
+        raise failure.cause from failure.__cause__
+    except OSError:
+        # sandboxed/odd hosts that refuse worker processes or semaphores
+        return [_execute_job(job) for job in job_list]
 
 
 def run_flow_on_executable(

@@ -19,6 +19,18 @@ class Format(Enum):
     J = "J"
 
 
+#: instruction class names used by the timing and energy models
+CLASS_ALU = "alu"
+CLASS_SHIFT = "shift"
+CLASS_LOAD = "load"
+CLASS_STORE = "store"
+CLASS_BRANCH = "branch"
+CLASS_JUMP = "jump"
+CLASS_MULT = "mult"
+CLASS_DIV = "div"
+CLASS_HILO = "hilo"
+
+
 class Syntax(Enum):
     """Assembly operand syntax shapes, used by the (dis)assembler."""
 
@@ -58,6 +70,8 @@ class InstrSpec:
     is_jump: bool = False
     writes_rd: bool = False
     writes_rt: bool = False
+    #: timing/energy class (CLASS_*); keyed into :class:`~repro.sim.cpu.CpiModel`
+    klass: str = CLASS_ALU
 
 
 def _r(mnem: str, funct: int, syntax: Syntax, **kw) -> InstrSpec:
@@ -70,28 +84,28 @@ def _i(mnem: str, opcode: int, syntax: Syntax, **kw) -> InstrSpec:
 
 _SPEC_LIST: list[InstrSpec] = [
     # --- R-type shifts ---
-    _r("sll", 0, Syntax.RD_RT_SHAMT, writes_rd=True),
-    _r("srl", 2, Syntax.RD_RT_SHAMT, writes_rd=True),
-    _r("sra", 3, Syntax.RD_RT_SHAMT, writes_rd=True),
-    _r("sllv", 4, Syntax.RD_RT_RS, writes_rd=True),
-    _r("srlv", 6, Syntax.RD_RT_RS, writes_rd=True),
-    _r("srav", 7, Syntax.RD_RT_RS, writes_rd=True),
+    _r("sll", 0, Syntax.RD_RT_SHAMT, writes_rd=True, klass=CLASS_SHIFT),
+    _r("srl", 2, Syntax.RD_RT_SHAMT, writes_rd=True, klass=CLASS_SHIFT),
+    _r("sra", 3, Syntax.RD_RT_SHAMT, writes_rd=True, klass=CLASS_SHIFT),
+    _r("sllv", 4, Syntax.RD_RT_RS, writes_rd=True, klass=CLASS_SHIFT),
+    _r("srlv", 6, Syntax.RD_RT_RS, writes_rd=True, klass=CLASS_SHIFT),
+    _r("srav", 7, Syntax.RD_RT_RS, writes_rd=True, klass=CLASS_SHIFT),
     # --- R-type jumps ---
-    _r("jr", 8, Syntax.RS, is_jump=True),
-    _r("jalr", 9, Syntax.RD_RS, is_jump=True, writes_rd=True),
+    _r("jr", 8, Syntax.RS, is_jump=True, klass=CLASS_JUMP),
+    _r("jalr", 9, Syntax.RD_RS, is_jump=True, writes_rd=True, klass=CLASS_JUMP),
     # --- system ---
-    _r("syscall", 12, Syntax.NONE),
-    _r("break", 13, Syntax.NONE),
+    _r("syscall", 12, Syntax.NONE, klass=CLASS_JUMP),
+    _r("break", 13, Syntax.NONE, klass=CLASS_JUMP),
     # --- HI/LO moves ---
-    _r("mfhi", 16, Syntax.RD, writes_rd=True),
-    _r("mthi", 17, Syntax.RS),
-    _r("mflo", 18, Syntax.RD, writes_rd=True),
-    _r("mtlo", 19, Syntax.RS),
+    _r("mfhi", 16, Syntax.RD, writes_rd=True, klass=CLASS_HILO),
+    _r("mthi", 17, Syntax.RS, klass=CLASS_HILO),
+    _r("mflo", 18, Syntax.RD, writes_rd=True, klass=CLASS_HILO),
+    _r("mtlo", 19, Syntax.RS, klass=CLASS_HILO),
     # --- multiply / divide ---
-    _r("mult", 24, Syntax.RS_RT),
-    _r("multu", 25, Syntax.RS_RT),
-    _r("div", 26, Syntax.RS_RT),
-    _r("divu", 27, Syntax.RS_RT),
+    _r("mult", 24, Syntax.RS_RT, klass=CLASS_MULT),
+    _r("multu", 25, Syntax.RS_RT, klass=CLASS_MULT),
+    _r("div", 26, Syntax.RS_RT, klass=CLASS_DIV),
+    _r("divu", 27, Syntax.RS_RT, klass=CLASS_DIV),
     # --- R-type ALU ---
     _r("add", 32, Syntax.RD_RS_RT, writes_rd=True),
     _r("addu", 33, Syntax.RD_RS_RT, writes_rd=True),
@@ -104,16 +118,16 @@ _SPEC_LIST: list[InstrSpec] = [
     _r("slt", 42, Syntax.RD_RS_RT, writes_rd=True),
     _r("sltu", 43, Syntax.RD_RS_RT, writes_rd=True),
     # --- REGIMM branches (opcode 1, selector in rt) ---
-    _i("bltz", 1, Syntax.RS_LABEL, regimm_rt=0, is_branch=True),
-    _i("bgez", 1, Syntax.RS_LABEL, regimm_rt=1, is_branch=True),
+    _i("bltz", 1, Syntax.RS_LABEL, regimm_rt=0, is_branch=True, klass=CLASS_BRANCH),
+    _i("bgez", 1, Syntax.RS_LABEL, regimm_rt=1, is_branch=True, klass=CLASS_BRANCH),
     # --- J-type ---
-    InstrSpec("j", Format.J, Syntax.TARGET, opcode=2, is_jump=True),
-    InstrSpec("jal", Format.J, Syntax.TARGET, opcode=3, is_jump=True),
+    InstrSpec("j", Format.J, Syntax.TARGET, opcode=2, is_jump=True, klass=CLASS_JUMP),
+    InstrSpec("jal", Format.J, Syntax.TARGET, opcode=3, is_jump=True, klass=CLASS_JUMP),
     # --- I-type branches ---
-    _i("beq", 4, Syntax.RS_RT_LABEL, is_branch=True),
-    _i("bne", 5, Syntax.RS_RT_LABEL, is_branch=True),
-    _i("blez", 6, Syntax.RS_LABEL, is_branch=True),
-    _i("bgtz", 7, Syntax.RS_LABEL, is_branch=True),
+    _i("beq", 4, Syntax.RS_RT_LABEL, is_branch=True, klass=CLASS_BRANCH),
+    _i("bne", 5, Syntax.RS_RT_LABEL, is_branch=True, klass=CLASS_BRANCH),
+    _i("blez", 6, Syntax.RS_LABEL, is_branch=True, klass=CLASS_BRANCH),
+    _i("bgtz", 7, Syntax.RS_LABEL, is_branch=True, klass=CLASS_BRANCH),
     # --- I-type ALU ---
     _i("addi", 8, Syntax.RT_RS_IMM, writes_rt=True),
     _i("addiu", 9, Syntax.RT_RS_IMM, writes_rt=True),
@@ -124,14 +138,14 @@ _SPEC_LIST: list[InstrSpec] = [
     _i("xori", 14, Syntax.RT_RS_IMM, zero_extend_imm=True, writes_rt=True),
     _i("lui", 15, Syntax.RT_IMM, zero_extend_imm=True, writes_rt=True),
     # --- loads / stores ---
-    _i("lb", 32, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True),
-    _i("lh", 33, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True),
-    _i("lw", 35, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True),
-    _i("lbu", 36, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True),
-    _i("lhu", 37, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True),
-    _i("sb", 40, Syntax.RT_OFF_BASE, is_store=True),
-    _i("sh", 41, Syntax.RT_OFF_BASE, is_store=True),
-    _i("sw", 43, Syntax.RT_OFF_BASE, is_store=True),
+    _i("lb", 32, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True, klass=CLASS_LOAD),
+    _i("lh", 33, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True, klass=CLASS_LOAD),
+    _i("lw", 35, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True, klass=CLASS_LOAD),
+    _i("lbu", 36, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True, klass=CLASS_LOAD),
+    _i("lhu", 37, Syntax.RT_OFF_BASE, is_load=True, writes_rt=True, klass=CLASS_LOAD),
+    _i("sb", 40, Syntax.RT_OFF_BASE, is_store=True, klass=CLASS_STORE),
+    _i("sh", 41, Syntax.RT_OFF_BASE, is_store=True, klass=CLASS_STORE),
+    _i("sw", 43, Syntax.RT_OFF_BASE, is_store=True, klass=CLASS_STORE),
 ]
 
 #: mnemonic -> spec, the single source of truth for the instruction set.

@@ -9,5 +9,8 @@ results* (per-address and per-edge execution counts) that drive the paper's
 
 from repro.sim.memory import Memory
 from repro.sim.cpu import Cpu, CpiModel, RunResult, run_executable
+from repro.sim.reference import run_reference
 
-__all__ = ["Cpu", "CpiModel", "Memory", "RunResult", "run_executable"]
+__all__ = [
+    "Cpu", "CpiModel", "Memory", "RunResult", "run_executable", "run_reference",
+]

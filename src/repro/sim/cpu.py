@@ -1,10 +1,24 @@
-"""Functional + cycle-level MIPS-I simulator.
+"""Functional + cycle-level MIPS-I simulator (threaded-code interpreter).
 
 Design notes:
 
-* The text section is pre-decoded once into a flat list; the hot interpreter
-  loop dispatches on mnemonic strings with locals bound for speed.  This is
-  the standard trade-off for an ISS written in pure Python.
+* The text section is pre-decoded **once, at construction**, into a flat
+  table of per-instruction executors: each text word becomes a closure with
+  its operand registers, immediates and (for control transfers) target
+  *indices* already bound.  The hot loop is then just
+
+      counts[index] += 1
+      index = handlers[index]()
+
+  -- no string compares, no ``getattr``, no per-step attribute lookups.
+  This is the classic threaded-code trade-off for an ISS written in pure
+  Python and is worth ~5x over the old mnemonic-string dispatch chain.
+* Statistics are *derived*, not collected: the loop maintains one
+  per-instruction execution counter; branch executors bump a per-site
+  taken counter.  ``steps``, ``cycles``, ``pc_counts``, ``mix`` and the
+  static part of ``edge_counts`` all fall out of those arrays in a single
+  O(text) pass at exit.  Only register-indirect jumps (``jr``/``jalr``)
+  record their (dynamic) edges directly.
 * Timing uses a simple per-class CPI model (:class:`CpiModel`).  Absolute
   accuracy is not the point -- the paper's hypothetical platform is evaluated
   through *ratios* (speedup, energy savings) and the CPI model only needs to
@@ -14,51 +28,49 @@ Design notes:
 * When *profile* is enabled the simulator records per-address execution
   counts and taken-edge counts.  These are exactly the "profiling results"
   the paper's partitioner consumes.
+
+``tests/sim/test_threaded.py`` checks this engine differentially against
+the straight-line reference interpreter in :mod:`repro.sim.reference`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from itertools import repeat
 
 from repro.binary.image import Executable
 from repro.binary.loader import load_into_memory
 from repro.errors import SimulationError
 from repro.isa.encoding import decode
+from repro.isa.instructions import (
+    CLASS_ALU,
+    CLASS_BRANCH,
+    CLASS_DIV,
+    CLASS_HILO,
+    CLASS_JUMP,
+    CLASS_LOAD,
+    CLASS_MULT,
+    CLASS_SHIFT,
+    CLASS_STORE,
+    SPECS,
+)
 from repro.sim.memory import Memory
 
 STACK_TOP = 0x7FFF_FFF0
 
-#: instruction class names used by the timing and energy models
-CLASS_ALU = "alu"
-CLASS_SHIFT = "shift"
-CLASS_LOAD = "load"
-CLASS_STORE = "store"
-CLASS_BRANCH = "branch"
-CLASS_JUMP = "jump"
-CLASS_MULT = "mult"
-CLASS_DIV = "div"
-CLASS_HILO = "hilo"
+__all__ = [
+    "CLASS_ALU", "CLASS_SHIFT", "CLASS_LOAD", "CLASS_STORE", "CLASS_BRANCH",
+    "CLASS_JUMP", "CLASS_MULT", "CLASS_DIV", "CLASS_HILO",
+    "CpiModel", "Cpu", "RunResult", "run_executable", "STACK_TOP",
+]
 
-_MNEMONIC_CLASS = {
-    "add": CLASS_ALU, "addu": CLASS_ALU, "sub": CLASS_ALU, "subu": CLASS_ALU,
-    "and": CLASS_ALU, "or": CLASS_ALU, "xor": CLASS_ALU, "nor": CLASS_ALU,
-    "slt": CLASS_ALU, "sltu": CLASS_ALU,
-    "addi": CLASS_ALU, "addiu": CLASS_ALU, "slti": CLASS_ALU, "sltiu": CLASS_ALU,
-    "andi": CLASS_ALU, "ori": CLASS_ALU, "xori": CLASS_ALU, "lui": CLASS_ALU,
-    "sll": CLASS_SHIFT, "srl": CLASS_SHIFT, "sra": CLASS_SHIFT,
-    "sllv": CLASS_SHIFT, "srlv": CLASS_SHIFT, "srav": CLASS_SHIFT,
-    "lb": CLASS_LOAD, "lbu": CLASS_LOAD, "lh": CLASS_LOAD, "lhu": CLASS_LOAD,
-    "lw": CLASS_LOAD,
-    "sb": CLASS_STORE, "sh": CLASS_STORE, "sw": CLASS_STORE,
-    "beq": CLASS_BRANCH, "bne": CLASS_BRANCH, "blez": CLASS_BRANCH,
-    "bgtz": CLASS_BRANCH, "bltz": CLASS_BRANCH, "bgez": CLASS_BRANCH,
-    "j": CLASS_JUMP, "jal": CLASS_JUMP, "jr": CLASS_JUMP, "jalr": CLASS_JUMP,
-    "mult": CLASS_MULT, "multu": CLASS_MULT,
-    "div": CLASS_DIV, "divu": CLASS_DIV,
-    "mfhi": CLASS_HILO, "mflo": CLASS_HILO, "mthi": CLASS_HILO, "mtlo": CLASS_HILO,
-    "break": CLASS_JUMP, "syscall": CLASS_JUMP,
-}
+#: mnemonic -> timing class, derived from the ISA spec table.
+_MNEMONIC_CLASS = {mnem: spec.klass for mnem, spec in SPECS.items()}
+
+
+class _Halt(Exception):
+    """Raised by the ``break`` executor to leave the dispatch loop."""
 
 
 @dataclass(frozen=True)
@@ -105,7 +117,7 @@ class RunResult:
 
 
 class Cpu:
-    """MIPS-I interpreter over an :class:`Executable` image."""
+    """MIPS-I threaded-code interpreter over an :class:`Executable` image."""
 
     def __init__(
         self,
@@ -116,8 +128,8 @@ class Cpu:
     ):
         self.exe = exe
         self.memory = memory if memory is not None else Memory()
-        self.cpi = cpi if cpi is not None else CpiModel()
-        self.profile = profile
+        self._cpi = cpi if cpi is not None else CpiModel()
+        self._profile = profile
         load_into_memory(exe, self.memory)
         self._decoded = [decode(word) for word in exe.text_words]
         self.regs = [0] * 32
@@ -125,6 +137,22 @@ class Cpu:
         self.lo = 0
         self.pc = exe.entry
         self.regs[29] = STACK_TOP  # $sp
+        # mutable cells shared with the executor closures
+        self._hilo = [0, 0]
+        self._taken = [0] * len(self._decoded)
+        self._dyn_edges: dict[tuple[int, int], int] = {}
+        self._build_table()
+
+    # The executor table bakes cycle costs and profile hooks in at build
+    # time, so these are constructor-only: assigning them later would
+    # silently leave a stale table behind.
+    @property
+    def cpi(self) -> CpiModel:
+        return self._cpi
+
+    @property
+    def profile(self) -> bool:
+        return self._profile
 
     # -- helpers -----------------------------------------------------------
 
@@ -137,240 +165,488 @@ class Cpu:
         value = self.read_word_global(symbol, index)
         return value - 0x1_0000_0000 if value & 0x8000_0000 else value
 
+    # -- executor table ----------------------------------------------------
+
+    def _build_table(self) -> None:
+        """Translate the decoded text into the executor/cost/class tables.
+
+        Each executor is a zero-argument closure that performs one
+        instruction and returns the *index* of the next one.  Straight-line
+        successors and static branch/jump targets are resolved to indices
+        here, so the dispatch loop never converts pc -> index; only the
+        register-indirect jumps (``jr``/``jalr``) do, validating their
+        dynamic target as the old interpreter's loop guard did.
+        """
+        regs = self.regs
+        memory = self.memory
+        read_u8 = memory.read_u8
+        read_u16 = memory.read_u16
+        read_u32 = memory.read_u32
+        write_u8 = memory.write_u8
+        write_u16 = memory.write_u16
+        write_u32 = memory.write_u32
+        hilo = self._hilo
+        taken = self._taken
+        dyn_edges = self._dyn_edges
+        profile = self.profile
+        text_base = self.exe.text_base
+        text_len = len(self._decoded)
+        M = 0xFFFF_FFFF
+
+        def escape(bad_pc: int):
+            def h():
+                raise SimulationError(f"pc outside text section: 0x{bad_pc:08x}")
+            return h
+
+        # Escape slots appended after the text: slot text_len catches
+        # fall-through past the end; further slots serve as the "taken"
+        # continuation of any static branch/jump whose target lies outside
+        # the text section (the old loop guard faulted on the next fetch).
+        extra_escapes: list = []
+
+        def escape_index(bad_pc: int) -> int:
+            extra_escapes.append(escape(bad_pc))
+            return text_len + len(extra_escapes)
+
+        def branch_target(pc: int, imm: int):
+            """(taken index, taken pc | None if out of text) for a branch."""
+            t_pc = pc + 4 + (imm << 2)
+            t_idx = (t_pc - text_base) >> 2
+            if not 0 <= t_idx < text_len:
+                return escape_index(t_pc), None
+            return t_idx, t_pc
+
+        handlers = []
+        costs: list[int] = []
+        klasses: list[str] = []
+        #: index -> static (src, dst) edge; count = taken[i] for branches,
+        #: counts[i] for j/jal (which are always taken)
+        branch_edges: dict[int, tuple[int, int]] = {}
+        jump_edges: dict[int, tuple[int, int]] = {}
+
+        cpi = self.cpi
+        for index, instr in enumerate(self._decoded):
+            pc = text_base + (index << 2)
+            nxt = index + 1
+            m = instr.mnemonic
+            rs, rt, rd = instr.rs, instr.rt, instr.rd
+            shamt, imm = instr.shamt, instr.imm
+            klass = _MNEMONIC_CLASS[m]
+            klasses.append(klass)
+            costs.append(cpi.cycles_for(klass))
+
+            if m == "addiu" or m == "addi":
+                if rt:
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        regs[rt] = (regs[rs] + imm) & M
+                        return nxt
+                else:
+                    def h(nxt=nxt):
+                        return nxt
+            elif m == "lw":
+                if rt:
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        regs[rt] = read_u32((regs[rs] + imm) & M)
+                        return nxt
+                else:
+                    def h(rs=rs, imm=imm, nxt=nxt):
+                        read_u32((regs[rs] + imm) & M)
+                        return nxt
+            elif m == "sw":
+                def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                    write_u32((regs[rs] + imm) & M, regs[rt])
+                    return nxt
+            elif m in ("addu", "add", "subu", "sub", "and", "or", "xor",
+                       "nor", "slt", "sltu"):
+                if not rd:
+                    def h(nxt=nxt):
+                        return nxt
+                elif m == "addu" or m == "add":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = (regs[rs] + regs[rt]) & M
+                        return nxt
+                elif m == "subu" or m == "sub":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = (regs[rs] - regs[rt]) & M
+                        return nxt
+                elif m == "and":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = regs[rs] & regs[rt]
+                        return nxt
+                elif m == "or":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = regs[rs] | regs[rt]
+                        return nxt
+                elif m == "xor":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = regs[rs] ^ regs[rt]
+                        return nxt
+                elif m == "nor":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = ~(regs[rs] | regs[rt]) & M
+                        return nxt
+                elif m == "slt":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        a, b = regs[rs], regs[rt]
+                        if a & 0x8000_0000:
+                            a -= 0x1_0000_0000
+                        if b & 0x8000_0000:
+                            b -= 0x1_0000_0000
+                        regs[rd] = 1 if a < b else 0
+                        return nxt
+                else:  # sltu
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = 1 if regs[rs] < regs[rt] else 0
+                        return nxt
+            elif m in ("sll", "srl", "sra", "sllv", "srlv", "srav"):
+                if not rd:
+                    def h(nxt=nxt):  # includes the canonical nop
+                        return nxt
+                elif m == "sll":
+                    def h(rt=rt, rd=rd, shamt=shamt, nxt=nxt):
+                        regs[rd] = (regs[rt] << shamt) & M
+                        return nxt
+                elif m == "srl":
+                    def h(rt=rt, rd=rd, shamt=shamt, nxt=nxt):
+                        regs[rd] = regs[rt] >> shamt
+                        return nxt
+                elif m == "sra":
+                    def h(rt=rt, rd=rd, shamt=shamt, nxt=nxt):
+                        value = regs[rt]
+                        if value & 0x8000_0000:
+                            value -= 0x1_0000_0000
+                        regs[rd] = (value >> shamt) & M
+                        return nxt
+                elif m == "sllv":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = (regs[rt] << (regs[rs] & 31)) & M
+                        return nxt
+                elif m == "srlv":
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        regs[rd] = regs[rt] >> (regs[rs] & 31)
+                        return nxt
+                else:  # srav
+                    def h(rs=rs, rt=rt, rd=rd, nxt=nxt):
+                        value = regs[rt]
+                        if value & 0x8000_0000:
+                            value -= 0x1_0000_0000
+                        regs[rd] = (value >> (regs[rs] & 31)) & M
+                        return nxt
+            elif m in ("slti", "sltiu", "andi", "ori", "xori", "lui"):
+                if not rt:
+                    def h(nxt=nxt):
+                        return nxt
+                elif m == "slti":
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        a = regs[rs]
+                        if a & 0x8000_0000:
+                            a -= 0x1_0000_0000
+                        regs[rt] = 1 if a < imm else 0
+                        return nxt
+                elif m == "sltiu":
+                    def h(rs=rs, rt=rt, imm=imm & M, nxt=nxt):
+                        regs[rt] = 1 if regs[rs] < imm else 0
+                        return nxt
+                elif m == "andi":
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        regs[rt] = regs[rs] & imm
+                        return nxt
+                elif m == "ori":
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        regs[rt] = regs[rs] | imm
+                        return nxt
+                elif m == "xori":
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        regs[rt] = regs[rs] ^ imm
+                        return nxt
+                else:  # lui
+                    def h(rt=rt, value=(imm << 16) & M, nxt=nxt):
+                        regs[rt] = value
+                        return nxt
+            elif m in ("lb", "lbu", "lh", "lhu"):
+                if not rt:
+                    def h(rs=rs, imm=imm, nxt=nxt,
+                          read=read_u8 if m in ("lb", "lbu") else read_u16):
+                        read((regs[rs] + imm) & M)
+                        return nxt
+                elif m == "lb":
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        value = read_u8((regs[rs] + imm) & M)
+                        regs[rt] = (value - 0x100 if value & 0x80 else value) & M
+                        return nxt
+                elif m == "lbu":
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        regs[rt] = read_u8((regs[rs] + imm) & M)
+                        return nxt
+                elif m == "lh":
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        value = read_u16((regs[rs] + imm) & M)
+                        regs[rt] = (value - 0x1_0000 if value & 0x8000 else value) & M
+                        return nxt
+                else:  # lhu
+                    def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                        regs[rt] = read_u16((regs[rs] + imm) & M)
+                        return nxt
+            elif m == "sb":
+                def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                    write_u8((regs[rs] + imm) & M, regs[rt])
+                    return nxt
+            elif m == "sh":
+                def h(rs=rs, rt=rt, imm=imm, nxt=nxt):
+                    write_u16((regs[rs] + imm) & M, regs[rt])
+                    return nxt
+            elif m in ("beq", "bne", "blez", "bgtz", "bltz", "bgez"):
+                t_idx, t_pc = branch_target(pc, imm)
+                if t_pc is not None:
+                    branch_edges[index] = (pc, t_pc)
+                if m == "beq":
+                    def h(rs=rs, rt=rt, t=t_idx, i=index, nxt=nxt):
+                        if regs[rs] == regs[rt]:
+                            taken[i] += 1
+                            return t
+                        return nxt
+                elif m == "bne":
+                    def h(rs=rs, rt=rt, t=t_idx, i=index, nxt=nxt):
+                        if regs[rs] != regs[rt]:
+                            taken[i] += 1
+                            return t
+                        return nxt
+                elif m == "blez":
+                    def h(rs=rs, t=t_idx, i=index, nxt=nxt):
+                        value = regs[rs]
+                        if value == 0 or value & 0x8000_0000:
+                            taken[i] += 1
+                            return t
+                        return nxt
+                elif m == "bgtz":
+                    def h(rs=rs, t=t_idx, i=index, nxt=nxt):
+                        value = regs[rs]
+                        if value != 0 and not value & 0x8000_0000:
+                            taken[i] += 1
+                            return t
+                        return nxt
+                elif m == "bltz":
+                    def h(rs=rs, t=t_idx, i=index, nxt=nxt):
+                        if regs[rs] & 0x8000_0000:
+                            taken[i] += 1
+                            return t
+                        return nxt
+                else:  # bgez
+                    def h(rs=rs, t=t_idx, i=index, nxt=nxt):
+                        if not regs[rs] & 0x8000_0000:
+                            taken[i] += 1
+                            return t
+                        return nxt
+            elif m == "j" or m == "jal":
+                t_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
+                t_idx = (t_pc - text_base) >> 2
+                if not 0 <= t_idx < text_len:
+                    t_idx = escape_index(t_pc)
+                else:
+                    jump_edges[index] = (pc, t_pc)
+                if m == "j":
+                    def h(t=t_idx):
+                        return t
+                else:
+                    def h(t=t_idx, link=pc + 4):
+                        regs[31] = link
+                        return t
+            elif m == "jr" or m == "jalr":
+                link = pc + 4
+                if m == "jr":
+                    def pre(rs=rs):
+                        return regs[rs]
+                elif rd:
+                    def pre(rs=rs, rd=rd, link=link):
+                        regs[rd] = link
+                        return regs[rs]
+                else:
+                    def pre(rs=rs):
+                        return regs[rs]
+                if profile:
+                    def h(pre=pre, pc=pc):
+                        t = pre()
+                        i = (t - text_base) >> 2
+                        if t & 3 or not 0 <= i < text_len:
+                            raise SimulationError(
+                                f"pc outside text section: 0x{t:08x}")
+                        key = (pc, t)
+                        dyn_edges[key] = dyn_edges.get(key, 0) + 1
+                        return i
+                else:
+                    def h(pre=pre):
+                        t = pre()
+                        i = (t - text_base) >> 2
+                        if t & 3 or not 0 <= i < text_len:
+                            raise SimulationError(
+                                f"pc outside text section: 0x{t:08x}")
+                        return i
+            elif m == "mult" or m == "multu":
+                if m == "mult":
+                    def h(rs=rs, rt=rt, nxt=nxt):
+                        a, b = regs[rs], regs[rt]
+                        if a & 0x8000_0000:
+                            a -= 0x1_0000_0000
+                        if b & 0x8000_0000:
+                            b -= 0x1_0000_0000
+                        product = (a * b) & 0xFFFF_FFFF_FFFF_FFFF
+                        hilo[0] = (product >> 32) & M
+                        hilo[1] = product & M
+                        return nxt
+                else:
+                    def h(rs=rs, rt=rt, nxt=nxt):
+                        product = regs[rs] * regs[rt]
+                        hilo[0] = (product >> 32) & M
+                        hilo[1] = product & M
+                        return nxt
+            elif m == "div":
+                def h(rs=rs, rt=rt, nxt=nxt):
+                    a, b = regs[rs], regs[rt]
+                    if a & 0x8000_0000:
+                        a -= 0x1_0000_0000
+                    if b & 0x8000_0000:
+                        b -= 0x1_0000_0000
+                    if b == 0:
+                        # MIPS leaves HI/LO undefined; pick stable values
+                        hilo[0], hilo[1] = a & M, M
+                    else:
+                        quotient = int(a / b)  # C-style truncation toward zero
+                        hilo[0] = (a - quotient * b) & M
+                        hilo[1] = quotient & M
+                    return nxt
+            elif m == "divu":
+                def h(rs=rs, rt=rt, nxt=nxt):
+                    a, b = regs[rs], regs[rt]
+                    if b == 0:
+                        hilo[0], hilo[1] = a, M
+                    else:
+                        hilo[0], hilo[1] = a % b, a // b
+                    return nxt
+            elif m == "mfhi":
+                if rd:
+                    def h(rd=rd, nxt=nxt):
+                        regs[rd] = hilo[0]
+                        return nxt
+                else:
+                    def h(nxt=nxt):
+                        return nxt
+            elif m == "mflo":
+                if rd:
+                    def h(rd=rd, nxt=nxt):
+                        regs[rd] = hilo[1]
+                        return nxt
+                else:
+                    def h(nxt=nxt):
+                        return nxt
+            elif m == "mthi":
+                def h(rs=rs, nxt=nxt):
+                    hilo[0] = regs[rs]
+                    return nxt
+            elif m == "mtlo":
+                def h(rs=rs, nxt=nxt):
+                    hilo[1] = regs[rs]
+                    return nxt
+            elif m == "break":
+                def h():
+                    raise _Halt
+            elif m == "syscall":
+                def h(pc=pc):
+                    raise SimulationError(
+                        f"syscall executed at 0x{pc:08x}; benchmarks are I/O-free")
+            else:  # pragma: no cover - the decoder only produces known mnemonics
+                raise SimulationError(f"unimplemented mnemonic {m}")
+
+            handlers.append(h)
+
+        # fall-through past the last instruction lands here
+        handlers.append(escape(text_base + (text_len << 2)))
+        handlers.extend(extra_escapes)
+
+        self._handlers = handlers
+        self._costs = costs
+        self._klasses = klasses
+        self._branch_edges = branch_edges
+        self._jump_edges = jump_edges
+
     # -- execution ---------------------------------------------------------
 
     def run(self, max_steps: int = 100_000_000) -> RunResult:
         """Run until ``break`` or *max_steps*; return statistics."""
-        regs = self.regs
-        memory = self.memory
         text_base = self.exe.text_base
         text_len = len(self._decoded)
-        decoded = self._decoded
-        cpi = self.cpi
-        mix: Counter = Counter()
-        pc_counts: dict[int, int] = {}
-        edge_counts: dict[tuple[int, int], int] = {}
-        profile = self.profile
-        mnem_class = _MNEMONIC_CLASS
+        handlers = self._handlers
+        taken = self._taken
+        taken[:] = [0] * text_len
+        self._dyn_edges.clear()
+        self._hilo[0], self._hilo[1] = self.hi, self.lo
+        counts = [0] * len(handlers)
 
         pc = self.pc
-        hi, lo = self.hi, self.lo
+        index = (pc - text_base) >> 2
+        if pc & 3 or not 0 <= index < text_len:
+            raise SimulationError(f"pc outside text section: 0x{pc:08x}")
+
+        halted = False
+        try:
+            for _ in repeat(None, max_steps):
+                counts[index] += 1
+                index = handlers[index]()
+        except _Halt:
+            halted = True
+
+        pc = text_base + (index << 2)
+        self.pc = pc
+        self.hi, self.lo = self._hilo[0], self._hilo[1]
+        if not halted:
+            raise SimulationError(f"exceeded max_steps={max_steps} (pc=0x{pc:08x})")
+
+        return self._gather(counts)
+
+    def _gather(self, counts: list[int]) -> RunResult:
+        """Derive the RunResult statistics from the raw counter arrays."""
+        costs = self._costs
+        taken = self._taken
+        profile = self.profile
+        text_base = self.exe.text_base
         steps = 0
         cycles = 0
-        halted = False
-        mask = 0xFFFF_FFFF
+        mix: Counter = Counter()
+        pc_counts: dict[int, int] = {}
+        text_len = len(costs)
+        if profile:
+            klasses = self._klasses
+            for i in range(text_len):
+                c = counts[i]
+                if c:
+                    steps += c
+                    cycles += c * costs[i]
+                    pc_counts[text_base + (i << 2)] = c
+                    mix[klasses[i]] += c
+        else:
+            for i in range(text_len):
+                c = counts[i]
+                if c:
+                    steps += c
+                    cycles += c * costs[i]
+        cycles += self.cpi.taken_penalty * sum(taken)
 
-        while steps < max_steps:
-            index = (pc - text_base) >> 2
-            if not 0 <= index < text_len or pc & 3:
-                raise SimulationError(f"pc outside text section: 0x{pc:08x}")
-            instr = decoded[index]
-            mnem = instr.mnemonic
-            steps += 1
-            klass = mnem_class[mnem]
-            cycles += cpi.cycles_for(klass)
-            if profile:
-                pc_counts[pc] = pc_counts.get(pc, 0) + 1
-                mix[klass] += 1
-            next_pc = pc + 4
+        edge_counts: dict[tuple[int, int], int] = {}
+        if profile:
+            for i, key in self._branch_edges.items():
+                t = taken[i]
+                if t:
+                    edge_counts[key] = t
+            for i, key in self._jump_edges.items():
+                c = counts[i]
+                if c:
+                    edge_counts[key] = c
+            edge_counts.update(self._dyn_edges)
 
-            if mnem == "addiu" or mnem == "addi":
-                regs[instr.rt] = (regs[instr.rs] + instr.imm) & mask
-            elif mnem == "lw":
-                regs[instr.rt] = memory.read_u32((regs[instr.rs] + instr.imm) & mask)
-            elif mnem == "sw":
-                memory.write_u32((regs[instr.rs] + instr.imm) & mask, regs[instr.rt])
-            elif mnem == "addu" or mnem == "add":
-                regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & mask
-            elif mnem == "subu" or mnem == "sub":
-                regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & mask
-            elif mnem == "sll":
-                regs[instr.rd] = (regs[instr.rt] << instr.shamt) & mask
-            elif mnem == "srl":
-                regs[instr.rd] = regs[instr.rt] >> instr.shamt
-            elif mnem == "sra":
-                value = regs[instr.rt]
-                if value & 0x8000_0000:
-                    value -= 0x1_0000_0000
-                regs[instr.rd] = (value >> instr.shamt) & mask
-            elif mnem == "sllv":
-                regs[instr.rd] = (regs[instr.rt] << (regs[instr.rs] & 31)) & mask
-            elif mnem == "srlv":
-                regs[instr.rd] = regs[instr.rt] >> (regs[instr.rs] & 31)
-            elif mnem == "srav":
-                value = regs[instr.rt]
-                if value & 0x8000_0000:
-                    value -= 0x1_0000_0000
-                regs[instr.rd] = (value >> (regs[instr.rs] & 31)) & mask
-            elif mnem == "and":
-                regs[instr.rd] = regs[instr.rs] & regs[instr.rt]
-            elif mnem == "or":
-                regs[instr.rd] = regs[instr.rs] | regs[instr.rt]
-            elif mnem == "xor":
-                regs[instr.rd] = regs[instr.rs] ^ regs[instr.rt]
-            elif mnem == "nor":
-                regs[instr.rd] = ~(regs[instr.rs] | regs[instr.rt]) & mask
-            elif mnem == "slt":
-                a, b = regs[instr.rs], regs[instr.rt]
-                if a & 0x8000_0000:
-                    a -= 0x1_0000_0000
-                if b & 0x8000_0000:
-                    b -= 0x1_0000_0000
-                regs[instr.rd] = 1 if a < b else 0
-            elif mnem == "sltu":
-                regs[instr.rd] = 1 if regs[instr.rs] < regs[instr.rt] else 0
-            elif mnem == "slti":
-                a = regs[instr.rs]
-                if a & 0x8000_0000:
-                    a -= 0x1_0000_0000
-                regs[instr.rt] = 1 if a < instr.imm else 0
-            elif mnem == "sltiu":
-                regs[instr.rt] = 1 if regs[instr.rs] < (instr.imm & mask) else 0
-            elif mnem == "andi":
-                regs[instr.rt] = regs[instr.rs] & instr.imm
-            elif mnem == "ori":
-                regs[instr.rt] = regs[instr.rs] | instr.imm
-            elif mnem == "xori":
-                regs[instr.rt] = regs[instr.rs] ^ instr.imm
-            elif mnem == "lui":
-                regs[instr.rt] = (instr.imm << 16) & mask
-            elif mnem == "lb":
-                value = memory.read_u8((regs[instr.rs] + instr.imm) & mask)
-                regs[instr.rt] = (value - 0x100 if value & 0x80 else value) & mask
-            elif mnem == "lbu":
-                regs[instr.rt] = memory.read_u8((regs[instr.rs] + instr.imm) & mask)
-            elif mnem == "lh":
-                value = memory.read_u16((regs[instr.rs] + instr.imm) & mask)
-                regs[instr.rt] = (value - 0x1_0000 if value & 0x8000 else value) & mask
-            elif mnem == "lhu":
-                regs[instr.rt] = memory.read_u16((regs[instr.rs] + instr.imm) & mask)
-            elif mnem == "sb":
-                memory.write_u8((regs[instr.rs] + instr.imm) & mask, regs[instr.rt])
-            elif mnem == "sh":
-                memory.write_u16((regs[instr.rs] + instr.imm) & mask, regs[instr.rt])
-            elif mnem == "beq":
-                if regs[instr.rs] == regs[instr.rt]:
-                    next_pc = pc + 4 + (instr.imm << 2)
-                    cycles += cpi.taken_penalty
-                    if profile:
-                        key = (pc, next_pc)
-                        edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "bne":
-                if regs[instr.rs] != regs[instr.rt]:
-                    next_pc = pc + 4 + (instr.imm << 2)
-                    cycles += cpi.taken_penalty
-                    if profile:
-                        key = (pc, next_pc)
-                        edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "blez":
-                value = regs[instr.rs]
-                if value == 0 or value & 0x8000_0000:
-                    next_pc = pc + 4 + (instr.imm << 2)
-                    cycles += cpi.taken_penalty
-                    if profile:
-                        key = (pc, next_pc)
-                        edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "bgtz":
-                value = regs[instr.rs]
-                if value != 0 and not value & 0x8000_0000:
-                    next_pc = pc + 4 + (instr.imm << 2)
-                    cycles += cpi.taken_penalty
-                    if profile:
-                        key = (pc, next_pc)
-                        edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "bltz":
-                if regs[instr.rs] & 0x8000_0000:
-                    next_pc = pc + 4 + (instr.imm << 2)
-                    cycles += cpi.taken_penalty
-                    if profile:
-                        key = (pc, next_pc)
-                        edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "bgez":
-                if not regs[instr.rs] & 0x8000_0000:
-                    next_pc = pc + 4 + (instr.imm << 2)
-                    cycles += cpi.taken_penalty
-                    if profile:
-                        key = (pc, next_pc)
-                        edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "j":
-                next_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
-                if profile:
-                    key = (pc, next_pc)
-                    edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "jal":
-                regs[31] = pc + 4
-                next_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
-                if profile:
-                    key = (pc, ((pc + 4) & 0xF000_0000) | (instr.target << 2))
-                    edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "jr":
-                next_pc = regs[instr.rs]
-                if profile:
-                    key = (pc, next_pc)
-                    edge_counts[key] = edge_counts.get(key, 0) + 1
-            elif mnem == "jalr":
-                regs[instr.rd] = pc + 4
-                next_pc = regs[instr.rs]
-            elif mnem == "mult":
-                a, b = regs[instr.rs], regs[instr.rt]
-                if a & 0x8000_0000:
-                    a -= 0x1_0000_0000
-                if b & 0x8000_0000:
-                    b -= 0x1_0000_0000
-                product = (a * b) & 0xFFFF_FFFF_FFFF_FFFF
-                hi, lo = (product >> 32) & mask, product & mask
-            elif mnem == "multu":
-                product = regs[instr.rs] * regs[instr.rt]
-                hi, lo = (product >> 32) & mask, product & mask
-            elif mnem == "div":
-                a, b = regs[instr.rs], regs[instr.rt]
-                if a & 0x8000_0000:
-                    a -= 0x1_0000_0000
-                if b & 0x8000_0000:
-                    b -= 0x1_0000_0000
-                if b == 0:
-                    hi, lo = a & mask, mask  # MIPS leaves HI/LO undefined; pick stable values
-                else:
-                    quotient = int(a / b)  # C-style truncation toward zero
-                    hi, lo = (a - quotient * b) & mask, quotient & mask
-            elif mnem == "divu":
-                a, b = regs[instr.rs], regs[instr.rt]
-                if b == 0:
-                    hi, lo = a, mask
-                else:
-                    hi, lo = a % b, a // b
-            elif mnem == "mfhi":
-                regs[instr.rd] = hi
-            elif mnem == "mflo":
-                regs[instr.rd] = lo
-            elif mnem == "mthi":
-                hi = regs[instr.rs]
-            elif mnem == "mtlo":
-                lo = regs[instr.rs]
-            elif mnem == "break":
-                halted = True
-                if profile:
-                    pass
-                break
-            elif mnem == "syscall":
-                raise SimulationError(f"syscall executed at 0x{pc:08x}; benchmarks are I/O-free")
-            else:  # pragma: no cover - the decoder only produces known mnemonics
-                raise SimulationError(f"unimplemented mnemonic {mnem}")
-
-            regs[0] = 0
-            pc = next_pc
-
-        self.pc = pc
-        self.hi, self.lo = hi, lo
-        if not halted and steps >= max_steps:
-            raise SimulationError(f"exceeded max_steps={max_steps} (pc=0x{pc:08x})")
-        if not profile:
-            mix = Counter()
         return RunResult(
             steps=steps,
             cycles=cycles,
-            halted=halted,
-            exit_pc=pc,
+            halted=True,
+            exit_pc=self.pc,
             mix=mix,
             pc_counts=pc_counts,
             edge_counts=edge_counts,

@@ -1,4 +1,13 @@
-"""Sparse byte-addressable memory with MIPS alignment rules."""
+"""Sparse byte-addressable memory with MIPS alignment rules.
+
+The scalar accessors are on the simulator's hottest path (every load/store
+executor calls straight into them), so they are written for CPython speed:
+the page dictionary lookup is inlined (no ``_page`` helper call per access)
+and the last-touched page is cached in two slots, which turns the common
+streaming access patterns (stack frames, array walks) into a single integer
+compare instead of a dict probe.  Bulk operations copy whole page slices and
+are used by the loader to install text/data sections in one pass.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,7 @@ from repro.errors import MemoryFault
 _PAGE_BITS = 12
 _PAGE_SIZE = 1 << _PAGE_BITS
 _PAGE_MASK = _PAGE_SIZE - 1
+_ADDR_MASK = 0xFFFF_FFFF
 
 
 class Memory:
@@ -17,41 +27,63 @@ class Memory:
     indicates a compiler bug and is tested for.
     """
 
+    __slots__ = ("_pages", "_cached_index", "_cached_page")
+
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
+        self._cached_index = -1
+        self._cached_page: bytearray | None = None
 
     def _page(self, address: int) -> bytearray:
-        page = self._pages.get(address >> _PAGE_BITS)
+        """Page containing *address*, created on demand and cached."""
+        index = address >> _PAGE_BITS
+        page = self._pages.get(index)
         if page is None:
             page = bytearray(_PAGE_SIZE)
-            self._pages[address >> _PAGE_BITS] = page
+            self._pages[index] = page
+        self._cached_index = index
+        self._cached_page = page
         return page
 
     # -- byte -------------------------------------------------------------
 
     def read_u8(self, address: int) -> int:
-        address &= 0xFFFF_FFFF
-        return self._page(address)[address & _PAGE_MASK]
+        address &= _ADDR_MASK
+        if address >> _PAGE_BITS == self._cached_index:
+            page = self._cached_page
+        else:
+            page = self._page(address)
+        return page[address & _PAGE_MASK]
 
     def write_u8(self, address: int, value: int) -> None:
-        address &= 0xFFFF_FFFF
-        self._page(address)[address & _PAGE_MASK] = value & 0xFF
+        address &= _ADDR_MASK
+        if address >> _PAGE_BITS == self._cached_index:
+            page = self._cached_page
+        else:
+            page = self._page(address)
+        page[address & _PAGE_MASK] = value & 0xFF
 
     # -- half -------------------------------------------------------------
 
     def read_u16(self, address: int) -> int:
-        address &= 0xFFFF_FFFF
+        address &= _ADDR_MASK
         if address & 1:
             raise MemoryFault(address, "misaligned halfword read")
-        page = self._page(address)
+        if address >> _PAGE_BITS == self._cached_index:
+            page = self._cached_page
+        else:
+            page = self._page(address)
         offset = address & _PAGE_MASK
         return page[offset] | (page[offset + 1] << 8)
 
     def write_u16(self, address: int, value: int) -> None:
-        address &= 0xFFFF_FFFF
+        address &= _ADDR_MASK
         if address & 1:
             raise MemoryFault(address, "misaligned halfword write")
-        page = self._page(address)
+        if address >> _PAGE_BITS == self._cached_index:
+            page = self._cached_page
+        else:
+            page = self._page(address)
         offset = address & _PAGE_MASK
         page[offset] = value & 0xFF
         page[offset + 1] = (value >> 8) & 0xFF
@@ -59,33 +91,76 @@ class Memory:
     # -- word -------------------------------------------------------------
 
     def read_u32(self, address: int) -> int:
-        address &= 0xFFFF_FFFF
+        address &= _ADDR_MASK
         if address & 3:
             raise MemoryFault(address, "misaligned word read")
-        page = self._page(address)
+        if address >> _PAGE_BITS == self._cached_index:
+            page = self._cached_page
+        else:
+            page = self._page(address)
         offset = address & _PAGE_MASK
-        return int.from_bytes(page[offset : offset + 4], "little")
+        return (
+            page[offset]
+            | (page[offset + 1] << 8)
+            | (page[offset + 2] << 16)
+            | (page[offset + 3] << 24)
+        )
 
     def write_u32(self, address: int, value: int) -> None:
-        address &= 0xFFFF_FFFF
+        address &= _ADDR_MASK
         if address & 3:
             raise MemoryFault(address, "misaligned word write")
-        page = self._page(address)
+        if address >> _PAGE_BITS == self._cached_index:
+            page = self._cached_page
+        else:
+            page = self._page(address)
         offset = address & _PAGE_MASK
-        page[offset : offset + 4] = (value & 0xFFFF_FFFF).to_bytes(4, "little")
+        page[offset] = value & 0xFF
+        page[offset + 1] = (value >> 8) & 0xFF
+        page[offset + 2] = (value >> 16) & 0xFF
+        page[offset + 3] = (value >> 24) & 0xFF
 
     # -- bulk -------------------------------------------------------------
+    #
+    # Bulk transfers work a page slice at a time: at most two slice copies
+    # for anything under 4 KiB instead of one method call per byte.
 
     def write_bytes(self, address: int, data: bytes) -> None:
-        for index, byte in enumerate(data):
-            self.write_u8(address + index, byte)
+        position = 0
+        length = len(data)
+        while position < length:
+            start = (address + position) & _ADDR_MASK
+            offset = start & _PAGE_MASK
+            chunk = min(length - position, _PAGE_SIZE - offset)
+            self._page(start)[offset : offset + chunk] = data[position : position + chunk]
+            position += chunk
 
     def read_bytes(self, address: int, length: int) -> bytes:
-        return bytes(self.read_u8(address + index) for index in range(length))
+        out = bytearray()
+        position = 0
+        while position < length:
+            start = (address + position) & _ADDR_MASK
+            offset = start & _PAGE_MASK
+            chunk = min(length - position, _PAGE_SIZE - offset)
+            out += self._page(start)[offset : offset + chunk]
+            position += chunk
+        return bytes(out)
 
     def read_words(self, address: int, count: int) -> list[int]:
-        return [self.read_u32(address + 4 * index) for index in range(count)]
+        address &= _ADDR_MASK
+        if address & 3:
+            raise MemoryFault(address, "misaligned word read")
+        raw = self.read_bytes(address, 4 * count)
+        return [
+            int.from_bytes(raw[position : position + 4], "little")
+            for position in range(0, 4 * count, 4)
+        ]
 
     def write_words(self, address: int, words: list[int]) -> None:
-        for index, word in enumerate(words):
-            self.write_u32(address + 4 * index, word)
+        address &= _ADDR_MASK
+        if address & 3:
+            raise MemoryFault(address, "misaligned word write")
+        self.write_bytes(
+            address,
+            b"".join((word & _ADDR_MASK).to_bytes(4, "little") for word in words),
+        )

@@ -1,0 +1,4 @@
+# This package marker (and the ones in each subdirectory) gives every test
+# module a unique import path, so same-named files like compiler/test_passes.py
+# and decompile/test_passes.py can coexist.  The top-level marker is also what
+# keeps tests/platform/ from shadowing the stdlib `platform` module.

@@ -41,6 +41,55 @@ class TestAccess:
         assert mem.read_words(0x3000, 3) == [1, 2, 3]
 
 
+class TestFastPaths:
+    """The last-page cache and slice-based bulk ops must stay transparent."""
+
+    def test_cache_coherent_across_pages(self):
+        mem = Memory()
+        mem.write_u32(0x1000, 0xAAAAAAAA)  # page 1 cached
+        mem.write_u32(0x2000, 0xBBBBBBBB)  # page 2 cached
+        assert mem.read_u32(0x1000) == 0xAAAAAAAA  # back to page 1
+        assert mem.read_u32(0x2000) == 0xBBBBBBBB
+
+    def test_bulk_write_visible_to_scalar_reads(self):
+        mem = Memory()
+        mem.read_u8(0x0FFC)  # prime the cache with page 0
+        mem.write_bytes(0x0FFC, b"\x11\x22\x33\x44\x55\x66\x77\x88")
+        assert mem.read_u32(0x0FFC) == 0x44332211
+        assert mem.read_u32(0x1000) == 0x88776655
+
+    def test_scalar_write_visible_to_bulk_reads(self):
+        mem = Memory()
+        mem.write_u16(0x1FFE, 0xBEEF)
+        mem.write_u16(0x2000, 0xDEAD)
+        assert mem.read_bytes(0x1FFE, 4) == b"\xef\xbe\xad\xde"
+
+    def test_words_across_page_boundary(self):
+        mem = Memory()
+        words = list(range(100, 100 + 16))
+        mem.write_words(0x1000 - 32, words)
+        assert mem.read_words(0x1000 - 32, 16) == words
+
+    def test_large_bulk_spans_many_pages(self):
+        mem = Memory()
+        data = bytes(range(256)) * 40  # 10240 bytes, three pages
+        mem.write_bytes(0x5F00, data)
+        assert mem.read_bytes(0x5F00, len(data)) == data
+        assert mem.read_u8(0x5F00) == 0
+        assert mem.read_u8(0x5F00 + 10239) == data[-1]
+
+    def test_bulk_words_mask_high_bits(self):
+        mem = Memory()
+        mem.write_words(0x3000, [0x1_2345_6789])
+        assert mem.read_u32(0x3000) == 0x2345_6789
+
+    def test_misaligned_bulk_words_fault(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_words(0x1002, 2)
+        with pytest.raises(MemoryFault):
+            Memory().write_words(0x1002, [1, 2])
+
+
 class TestAlignment:
     def test_misaligned_word_read(self):
         with pytest.raises(MemoryFault):

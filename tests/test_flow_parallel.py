@@ -1,0 +1,51 @@
+"""The parallel sweep runner must be a drop-in for serial flow runs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flow import FlowJob, run_flow, run_flows
+from repro.platform import MIPS_200MHZ, MIPS_40MHZ
+from repro.programs import get_benchmark
+
+NAMES = ["brev", "crc"]
+
+
+def job_for(name, platform=MIPS_200MHZ):
+    return FlowJob(source=get_benchmark(name).source, name=name, platform=platform)
+
+
+class TestRunFlows:
+    def test_preserves_job_order_and_results(self):
+        jobs = [job_for("crc"), job_for("brev"), job_for("crc", MIPS_40MHZ)]
+        reports = run_flows(jobs, max_workers=1)
+        assert [r.name for r in reports] == ["crc", "brev", "crc"]
+        assert reports[0].platform.cpu_clock_mhz == 200.0
+        assert reports[2].platform.cpu_clock_mhz == 40.0
+
+    def test_parallel_matches_serial(self):
+        jobs = [job_for(name) for name in NAMES]
+        serial = run_flows(jobs, max_workers=1)
+        parallel = run_flows(jobs, max_workers=2)
+        for s, p in zip(serial, parallel):
+            assert s.summary_row() == p.summary_row()
+            assert s.run.cycles == p.run.cycles
+            assert s.run.pc_counts == p.run.pc_counts
+            assert s.run.edge_counts == p.run.edge_counts
+
+    def test_matches_run_flow(self):
+        bench = get_benchmark("brev")
+        direct = run_flow(bench.source, "brev", platform=MIPS_200MHZ)
+        [swept] = run_flows([job_for("brev")])
+        assert direct.summary_row() == swept.summary_row()
+
+    def test_empty_job_list(self):
+        assert run_flows([]) == []
+
+    def test_job_error_propagates_without_serial_rerun(self):
+        # a broken job must surface its own error, not trigger the
+        # pool-unavailable fallback and re-run the sweep serially
+        jobs = [job_for("brev"), FlowJob(source="int main( {", name="broken")]
+        with pytest.raises(ReproError):
+            run_flows(jobs, max_workers=2)
+        with pytest.raises(ReproError):
+            run_flows(jobs, max_workers=1)
