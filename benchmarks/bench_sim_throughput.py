@@ -12,10 +12,13 @@ Reported numbers:
   representative benchmarks, profiled and unprofiled, best of N runs.
 * ``sweep`` -- wall-clock seconds for the full 20-benchmark single-platform
   flow sweep (compile + simulate + decompile + partition + synthesize),
-  serial and through the parallel runner.
+  serial and through the parallel runner.  The on-disk flow cache is
+  bypassed so the numbers measure computation, not pickle loading.
 
-Seed baseline for reference (PR 1): ~0.96M instr/s on ``brev``, ~5.8 s for
-the serial sweep, with the old string-dispatch interpreter.
+Earlier entries are preserved under ``history`` so the file carries the
+whole perf trajectory: seed (~0.96M instr/s on ``brev``, ~5.8 s serial
+sweep with the string-dispatch interpreter) -> PR 1 threaded code (~7.8M
+instr/s) -> onward.  Future perf PRs must keep the trajectory monotonic.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from repro.programs import ALL_BENCHMARKS, get_benchmark
 from repro.sim.cpu import Cpu
 
 SINGLE_RUN_BENCHMARKS = ["brev", "crc", "fir", "adpcm"]
-REPEATS = 5
+REPEATS = 9  # best-of-N; raised from 5 to damp shared-host noise
 
 
 def time_single_run(name: str, profile: bool) -> dict:
@@ -55,7 +58,7 @@ def time_single_run(name: str, profile: bool) -> dict:
 def time_sweep(max_workers: int | None) -> float:
     jobs = [FlowJob(source=bench.source, name=bench.name) for bench in ALL_BENCHMARKS]
     start = time.perf_counter()
-    run_flows(jobs, max_workers=max_workers)
+    run_flows(jobs, max_workers=max_workers, cache=False)
     return round(time.perf_counter() - start, 3)
 
 
@@ -65,6 +68,8 @@ def main() -> None:
         "-o", "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_sim.json"),
     )
+    parser.add_argument("--label", default="",
+                        help="trajectory label for this entry (e.g. 'PR 3')")
     args = parser.parse_args()
 
     single = {}
@@ -94,8 +99,30 @@ def main() -> None:
             "parallel_workers": workers,
         },
     }
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    if args.label:
+        payload["label"] = args.label
+
+    # the latest entry stays at top level (tools read it directly); earlier
+    # entries accumulate under "history", oldest first
+    output = Path(args.output)
+    history: list[dict] = []
+    if output.exists():
+        try:
+            previous = json.loads(output.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            # never clobber the perf trajectory: a truncated write or merge
+            # marker must be repaired by hand, not silently erased
+            raise SystemExit(
+                f"{output} exists but is unreadable ({exc}); refusing to "
+                "overwrite the perf trajectory -- fix or remove it first"
+            )
+        if isinstance(previous, dict):
+            history = previous.pop("history", [])
+            if previous:
+                history.append(previous)
+    payload["history"] = history
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
 
 
 if __name__ == "__main__":

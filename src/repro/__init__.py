@@ -33,18 +33,32 @@ from repro.decompile.decompiler import (
     DecompiledProgram,
     decompile,
 )
-from repro.flow import FlowReport, run_flow, run_flow_on_executable
+from repro.flow import (
+    DynamicFlowReport,
+    FlowReport,
+    run_dynamic_flow,
+    run_flow,
+    run_flow_on_executable,
+)
 from repro.partition.ninety_ten import NinetyTenPartitioner
-from repro.platform.platform import MIPS_200MHZ, MIPS_400MHZ, MIPS_40MHZ, Platform
+from repro.platform.platform import (
+    MIPS_200MHZ,
+    MIPS_400MHZ,
+    MIPS_40MHZ,
+    SOFTCORE_50MHZ,
+    SOFTCORE_85MHZ,
+    Platform,
+)
 from repro.sim.cpu import run_executable
 from repro.synth.synthesizer import SynthesisOptions, Synthesizer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompilerOptions",
     "DecompilationOptions",
     "DecompiledProgram",
+    "DynamicFlowReport",
     "Executable",
     "FlowReport",
     "MIPS_200MHZ",
@@ -52,11 +66,14 @@ __all__ = [
     "MIPS_40MHZ",
     "NinetyTenPartitioner",
     "Platform",
+    "SOFTCORE_50MHZ",
+    "SOFTCORE_85MHZ",
     "SynthesisOptions",
     "Synthesizer",
     "compile_source",
     "compile_to_asm",
     "decompile",
+    "run_dynamic_flow",
     "run_executable",
     "run_flow",
     "run_flow_on_executable",

@@ -20,6 +20,9 @@ software binary, after any compiler.  This CLI is that tool:
 
     # sweep the built-in benchmark suite across platforms, in parallel
     python -m repro sweep --cpu-mhz 40 200 400
+
+    # online (warp-style) partitioning: static vs dynamic, hard + soft cores
+    python -m repro dynamic
 """
 
 from __future__ import annotations
@@ -33,7 +36,14 @@ from repro.compiler.driver import CompilerOptions, compile_source
 from repro.decompile.decompiler import DecompilationOptions, decompile
 from repro.decompile.structure import render_pseudocode
 from repro.flow import FlowJob, run_flow_on_executable, run_flows
-from repro.platform.platform import Platform
+from repro.platform.platform import (
+    MIPS_200MHZ,
+    MIPS_400MHZ,
+    MIPS_40MHZ,
+    SOFTCORE_50MHZ,
+    SOFTCORE_85MHZ,
+    Platform,
+)
 from repro.sim.cpu import run_executable
 from repro.synth.fpga import VIRTEX2_DEVICES
 from repro.synth.synthesizer import Synthesizer
@@ -144,6 +154,64 @@ def cmd_vhdl(args) -> int:
     return 0
 
 
+#: platform registry for the sweep/dynamic subcommands
+NAMED_PLATFORMS: dict[str, Platform] = {
+    "mips40": MIPS_40MHZ,
+    "mips200": MIPS_200MHZ,
+    "mips400": MIPS_400MHZ,
+    "softcore85": SOFTCORE_85MHZ,
+    "softcore50": SOFTCORE_50MHZ,
+}
+
+
+def cmd_dynamic(args) -> int:
+    from repro.dynamic.controller import DynamicConfig
+    from repro.dynamic.flow import run_dynamic_flow
+    from repro.programs import ALL_BENCHMARKS, get_benchmark
+
+    if args.benchmarks:
+        benches = [get_benchmark(name) for name in args.benchmarks]
+    else:
+        benches = list(ALL_BENCHMARKS)
+    platforms = [NAMED_PLATFORMS[name] for name in args.platform]
+    config = DynamicConfig(
+        sample_interval=args.interval,
+        repartition_samples=args.repartition_samples,
+    )
+    worst_gap = 0.0
+    for platform in platforms:
+        print(f"===== {platform.name} (-O{args.opt_level}, "
+              f"sample every {config.sample_interval} instrs) =====")
+        header = (f"  {'benchmark':10s} {'static':>7s} {'dynamic':>8s} "
+                  f"{'warm':>7s} {'gap %':>6s} {'energy %':>9s} "
+                  f"{'kernels':>7s} {'events':>6s}")
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        rows = []
+        for bench in benches:
+            report = run_dynamic_flow(
+                bench.source, bench.name, opt_level=args.opt_level,
+                platform=platform, config=config,
+            )
+            rows.append(report)
+            worst_gap = max(worst_gap, report.warm_gap)
+            print(f"  {report.name:10s} {report.static_speedup:7.2f} "
+                  f"{report.dynamic_speedup:8.2f} {report.warm_speedup:7.2f} "
+                  f"{100 * report.warm_gap:6.1f} {100 * report.energy_savings:9.1f} "
+                  f"{len(report.timeline.final_resident):7d} "
+                  f"{len(report.timeline.events):6d}")
+        ok = [r for r in rows if r.recovered]
+        if ok:
+            print(f"  {'AVERAGE':10s} "
+                  f"{sum(r.static_speedup for r in ok) / len(ok):7.2f} "
+                  f"{sum(r.dynamic_speedup for r in ok) / len(ok):8.2f} "
+                  f"{sum(r.warm_speedup for r in ok) / len(ok):7.2f} "
+                  f"{100 * sum(r.warm_gap for r in ok) / len(ok):6.1f} "
+                  f"{100 * sum(r.energy_savings for r in ok) / len(ok):9.1f}")
+    print(f"worst warm gap vs static partition: {100 * worst_gap:.1f}%")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.programs import ALL_BENCHMARKS, get_benchmark
 
@@ -163,7 +231,11 @@ def cmd_sweep(args) -> int:
         for platform in platforms
         for bench in benches
     ]
-    reports = run_flows(jobs, max_workers=1 if args.serial else args.jobs)
+    reports = run_flows(
+        jobs,
+        max_workers=1 if args.serial else args.jobs,
+        cache=False if args.no_cache else None,
+    )
     failed = 0
     for platform in platforms:
         print(f"===== {platform.name} (-O{args.opt_level}) =====")
@@ -238,7 +310,24 @@ def main(argv=None) -> int:
                    help="worker processes (default: CPU count)")
     p.add_argument("--serial", action="store_true",
                    help="disable the process pool")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk flow-report cache")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("dynamic",
+                       help="online (warp-style) partitioning: static vs "
+                            "dynamic across hard- and soft-core platforms")
+    p.add_argument("benchmarks", nargs="*",
+                   help="benchmark names (default: the full 20-benchmark suite)")
+    p.add_argument("--platform", nargs="+", default=["mips200", "softcore85"],
+                   choices=sorted(NAMED_PLATFORMS),
+                   help="platforms to evaluate (default: mips200 softcore85)")
+    p.add_argument("-O", dest="opt_level", type=int, default=1, choices=[0, 1, 2, 3])
+    p.add_argument("--interval", type=int, default=4_000,
+                   help="instructions between profiler samples")
+    p.add_argument("--repartition-samples", type=int, default=2,
+                   help="profiler samples between re-partition decisions")
+    p.set_defaults(fn=cmd_dynamic)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,42 @@
+"""Online (run-time) hardware/software partitioning -- "warp processing".
+
+The companion study to the source paper (Lysecky & Vahid, "A Study of the
+Speedups and Competitiveness of FPGA Soft Processor Cores using Dynamic
+Hardware/Software Partitioning") runs the same decompile -> synthesize
+machinery *at run time*: a small on-chip profiler watches backward branches,
+on-chip CAD lifts the currently-hot loops to hardware, and the FPGA is
+reconfigured while the application keeps running.  This package models that
+flow end to end on top of the threaded simulator:
+
+* :mod:`profiler` -- the on-chip profiler: an exponentially-decayed
+  hot-target table fed from the simulator's per-site counters through the
+  periodic sampling hook (:meth:`repro.sim.cpu.Cpu.run`),
+* :mod:`controller` -- the dynamic partition controller: interval-by-interval
+  time/energy accounting, re-partition decisions from online profile data
+  only, FPGA capacity management with eviction of cooled kernels, and
+  explicit charging of CAD and reconfiguration overheads,
+* :mod:`flow` -- :func:`run_dynamic_flow`, which runs one benchmark once and
+  reports the dynamic timeline next to the static (oracle-profile) partition
+  the original paper computes.
+"""
+
+from repro.dynamic.profiler import OnlineProfiler, ProfilerConfig
+from repro.dynamic.controller import (
+    DynamicConfig,
+    DynamicPartitionController,
+    DynamicTimeline,
+    IntervalStats,
+    RepartitionEvent,
+)
+from repro.dynamic.flow import run_dynamic_flow
+
+__all__ = [
+    "DynamicConfig",
+    "DynamicPartitionController",
+    "DynamicTimeline",
+    "IntervalStats",
+    "OnlineProfiler",
+    "ProfilerConfig",
+    "RepartitionEvent",
+    "run_dynamic_flow",
+]

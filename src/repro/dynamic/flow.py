@@ -1,0 +1,95 @@
+"""End-to-end dynamic (run-time) partitioning flow.
+
+One simulation serves both sides of the comparison: the application runs
+once on the threaded simulator with the sampling hook driving the online
+profiler and dynamic partition controller, and the very same profiled
+:class:`~repro.sim.cpu.RunResult` then feeds the ordinary static flow.  The
+resulting :class:`~repro.flow.DynamicFlowReport` holds the static (oracle
+profile, no overheads) partition next to the dynamic timeline (online
+profile, CAD/reconfiguration charged), which is exactly the comparison the
+Lysecky & Vahid soft-core study reports.
+"""
+
+from __future__ import annotations
+
+from repro.binary.image import Executable
+from repro.compiler.driver import CompilerOptions, compile_source
+from repro.decompile.decompiler import DecompilationOptions
+from repro.dynamic.controller import DynamicConfig, DynamicPartitionController
+from repro.flow import DynamicFlowReport, run_flow_on_executable
+from repro.platform.platform import MIPS_200MHZ, Platform
+from repro.sim.cpu import Cpu
+from repro.synth.synthesizer import SynthesisOptions
+
+
+def run_dynamic_flow(
+    source: str,
+    name: str = "benchmark",
+    opt_level: int = 1,
+    platform: Platform = MIPS_200MHZ,
+    config: DynamicConfig | None = None,
+    compiler_options: CompilerOptions | None = None,
+    decompile_options: DecompilationOptions | None = None,
+    synthesis_options: SynthesisOptions | None = None,
+    max_steps: int = 200_000_000,
+) -> DynamicFlowReport:
+    """Compile *source* and run the online-partitioning flow on *platform*."""
+    if compiler_options is None:
+        compiler_options = CompilerOptions.from_level(opt_level)
+    exe = compile_source(source, compiler_options)
+    return run_dynamic_flow_on_executable(
+        exe,
+        name=name,
+        opt_level=compiler_options.opt_level,
+        platform=platform,
+        config=config,
+        decompile_options=decompile_options,
+        synthesis_options=synthesis_options,
+        max_steps=max_steps,
+    )
+
+
+def run_dynamic_flow_on_executable(
+    exe: Executable,
+    name: str = "benchmark",
+    opt_level: int = 1,
+    platform: Platform = MIPS_200MHZ,
+    config: DynamicConfig | None = None,
+    decompile_options: DecompilationOptions | None = None,
+    synthesis_options: SynthesisOptions | None = None,
+    max_steps: int = 200_000_000,
+) -> DynamicFlowReport:
+    """Online-partitioning flow starting from an already-built binary."""
+    config = config or DynamicConfig()
+    cpu = Cpu(exe, cpi=platform.cpi, profile=True)
+    controller = DynamicPartitionController(
+        cpu,
+        exe,
+        platform,
+        config,
+        synthesis_options=synthesis_options,
+        decompile_options=decompile_options,
+    )
+    result = cpu.run(
+        max_steps=max_steps,
+        sample_interval=config.sample_interval,
+        on_sample=controller.on_sample,
+    )
+    timeline = controller.finish()
+    static = run_flow_on_executable(
+        exe,
+        name=name,
+        opt_level=opt_level,
+        platform=platform,
+        decompile_options=decompile_options,
+        synthesis_options=synthesis_options,
+        max_steps=max_steps,
+        run=result,
+    )
+    return DynamicFlowReport(
+        name=name,
+        platform=platform,
+        static=static,
+        timeline=timeline,
+        config=config,
+    )

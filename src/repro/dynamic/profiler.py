@@ -1,0 +1,100 @@
+"""The on-chip profiler: a decayed hot-target table over backward branches.
+
+Warp processing's profiler is a tiny nonintrusive cache attached to the
+instruction-fetch bus: it watches *backward* control transfers (loop
+back-edges), keeps a small table of the most frequent targets, and ages
+entries so the table tracks the application's current phase rather than its
+whole history.
+
+This model piggybacks on the threaded simulator's per-site counters: every
+*sample_interval* executed instructions the simulator calls back with the
+live cumulative ``counts``/``taken`` arrays (see :meth:`repro.sim.cpu.Cpu.run`);
+the profiler folds the per-site deltas since the previous sample into an
+exponentially-decayed hotness score per branch-target address.  Only the
+static backward-edge sites are touched per sample -- a few dozen integers --
+so sampling cost is independent of the text size and invisible next to the
+interval itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Knobs of the modeled on-chip profiler."""
+
+    #: per-sample exponential aging of hotness scores
+    decay: float = 0.5
+    #: entries kept in the hot-target table (the real profiler's cache size)
+    table_size: int = 32
+    #: minimum share of the table's total weight to be reported as hot
+    hot_fraction: float = 0.01
+
+
+class OnlineProfiler:
+    """Decayed backward-branch frequency table fed from simulator samples."""
+
+    def __init__(self, cpu, config: ProfilerConfig | None = None):
+        self.config = config or ProfilerConfig()
+        # static backward control transfers: loop back-edges.  Branch sites
+        # count via the per-site taken array, jump sites (j/jal back-edges)
+        # via the execution counters.
+        self._branch_sites = [
+            (index, dst)
+            for index, (src, dst) in cpu.branch_edges.items()
+            if dst <= src
+        ]
+        self._jump_sites = [
+            (index, dst)
+            for index, (src, dst) in cpu.jump_edges.items()
+            if dst <= src
+        ]
+        self._prev_taken = {index: 0 for index, _ in self._branch_sites}
+        self._prev_counts = {index: 0 for index, _ in self._jump_sites}
+        #: target address -> decayed hotness (recent back-edge executions)
+        self.hotness: dict[int, float] = {}
+        self.samples = 0
+
+    def sample(self, counts: list[int], taken: list[int]) -> None:
+        """Fold one sampling interval's deltas into the hot-target table."""
+        config = self.config
+        hotness = self.hotness
+        if hotness:
+            decay = config.decay
+            for address in hotness:
+                hotness[address] *= decay
+        for index, target in self._branch_sites:
+            now = taken[index]
+            delta = now - self._prev_taken[index]
+            if delta:
+                self._prev_taken[index] = now
+                hotness[target] = hotness.get(target, 0.0) + delta
+        for index, target in self._jump_sites:
+            now = counts[index]
+            delta = now - self._prev_counts[index]
+            if delta:
+                self._prev_counts[index] = now
+                hotness[target] = hotness.get(target, 0.0) + delta
+        # the real table is small: evict the coldest entries beyond capacity
+        if len(hotness) > config.table_size:
+            keep = sorted(hotness.items(), key=lambda kv: -kv[1])
+            self.hotness = dict(keep[: config.table_size])
+        self.samples += 1
+
+    def total_weight(self) -> float:
+        return sum(self.hotness.values())
+
+    def hot_targets(self) -> list[tuple[int, float]]:
+        """(target address, hotness) of currently-hot loop headers, hottest
+        first, filtered by the configured share threshold."""
+        total = self.total_weight()
+        if total <= 0.0:
+            return []
+        threshold = self.config.hot_fraction * total
+        ranked = sorted(self.hotness.items(), key=lambda kv: -kv[1])
+        return [(address, score) for address, score in ranked if score >= threshold]
+
+    def hotness_of(self, address: int) -> float:
+        return self.hotness.get(address, 0.0)

@@ -19,9 +19,9 @@ worker processes.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.binary.image import Executable
 from repro.compiler.driver import CompilerOptions, compile_source
@@ -38,6 +38,9 @@ from repro.platform.metrics import ApplicationMetrics, evaluate_partition
 from repro.platform.platform import MIPS_200MHZ, Platform
 from repro.sim.cpu import RunResult, run_executable
 from repro.synth.synthesizer import SynthesisOptions
+
+if TYPE_CHECKING:  # only for annotations; repro.dynamic imports this module
+    from repro.dynamic.controller import DynamicConfig, DynamicTimeline
 
 
 @dataclass
@@ -161,6 +164,7 @@ def _execute_job_guarded(job: FlowJob) -> FlowReport:
 def run_flows(
     jobs: Iterable[FlowJob],
     max_workers: int | None = None,
+    cache: bool | None = None,
 ) -> list[FlowReport]:
     """Run many independent flows, in parallel when the host allows it.
 
@@ -168,8 +172,34 @@ def run_flows(
     count; pass ``1`` to force serial in-process execution (useful under
     debuggers and in tests).  Flow runs are deterministic, so the parallel
     and serial paths produce identical reports.
+
+    Completed reports are memoised on disk keyed by (source hash, opt
+    level, platform) -- see :mod:`repro.flow_cache` -- so repeated sweeps
+    skip recomputation across sessions.  *cache* forces the disk cache on
+    or off; ``None`` defers to the environment (``REPRO_CACHE=off``
+    disables it, ``REPRO_CACHE_DIR`` relocates it).
     """
+    from repro import flow_cache
+
     job_list: Sequence[FlowJob] = list(jobs)
+    use_cache = flow_cache.cache_enabled() if cache is None else cache
+
+    if not use_cache:
+        return _run_flows_uncached(job_list, max_workers)
+
+    reports: list[FlowReport | None] = [flow_cache.load_report(job) for job in job_list]
+    missing = [index for index, report in enumerate(reports) if report is None]
+    if missing:
+        fresh = _run_flows_uncached([job_list[i] for i in missing], max_workers)
+        for index, report in zip(missing, fresh):
+            reports[index] = report
+            flow_cache.store_report(job_list[index], report)
+    return reports
+
+
+def _run_flows_uncached(
+    job_list: Sequence[FlowJob], max_workers: int | None
+) -> list[FlowReport]:
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     max_workers = min(max_workers, len(job_list))
@@ -182,8 +212,11 @@ def run_flows(
         # re-raise the job's own exception; keep concurrent.futures'
         # _RemoteTraceback chained so the worker-side frames stay visible
         raise failure.cause from failure.__cause__
-    except OSError:
-        # sandboxed/odd hosts that refuse worker processes or semaphores
+    except (OSError, BrokenExecutor):
+        # OSError: sandboxed/odd hosts that refuse worker processes or
+        # semaphores.  BrokenExecutor/BrokenProcessPool: a worker died from
+        # the *outside* (OOM kill, container signal) -- that is pool
+        # infrastructure failing, not the job itself, so retry serially.
         return [_execute_job(job) for job in job_list]
 
 
@@ -195,9 +228,17 @@ def run_flow_on_executable(
     decompile_options: DecompilationOptions | None = None,
     synthesis_options: SynthesisOptions | None = None,
     max_steps: int = 200_000_000,
+    run: RunResult | None = None,
 ) -> FlowReport:
-    """Flow starting from an already-built binary (the paper's actual input)."""
-    _, run = run_executable(exe, profile=True, max_steps=max_steps, cpi=platform.cpi)
+    """Flow starting from an already-built binary (the paper's actual input).
+
+    Pass *run* to reuse an existing profiled simulation of *exe* (it must
+    have been produced with ``profile=True`` and this platform's CPI model);
+    the dynamic flow uses this to evaluate static and dynamic partitioning
+    from one simulation.
+    """
+    if run is None:
+        _, run = run_executable(exe, profile=True, max_steps=max_steps, cpi=platform.cpi)
 
     program = decompile(exe, decompile_options)
     if program.failures:
@@ -236,3 +277,76 @@ def run_flow_on_executable(
         metrics=metrics,
         decompile_stats=program.total_stats(),
     )
+
+
+@dataclass
+class DynamicFlowReport:
+    """Static (design-time) vs dynamic (run-time) partitioning of one run.
+
+    ``static`` is the ordinary :class:`FlowReport` -- the paper's flow with
+    oracle whole-run profile data.  ``timeline`` is what the warp-style
+    online system achieved on the same simulation: per-interval wall clock
+    and energy under the evolving hardware configuration, plus every
+    re-partition decision and its CAD/reconfiguration cost.
+    """
+
+    name: str
+    platform: Platform
+    static: FlowReport
+    timeline: DynamicTimeline
+    config: DynamicConfig
+
+    @property
+    def recovered(self) -> bool:
+        return self.static.recovered
+
+    @property
+    def static_speedup(self) -> float:
+        return self.static.app_speedup
+
+    @property
+    def dynamic_speedup(self) -> float:
+        """Whole-run speedup, warm-up and overheads included."""
+        return self.timeline.speedup
+
+    @property
+    def warm_speedup(self) -> float:
+        """Steady-state speedup after profiling warmed up."""
+        return self.timeline.warm_speedup
+
+    @property
+    def warm_gap(self) -> float:
+        """Relative shortfall of the warm dynamic speedup vs the static
+        partition (0.0 when dynamic matches or beats static)."""
+        static = self.static_speedup
+        if static <= 0:
+            return 0.0
+        return max(0.0, (static - self.warm_speedup) / static)
+
+    @property
+    def energy_savings(self) -> float:
+        return self.timeline.energy_savings
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.timeline.overhead_seconds
+
+    def summary_row(self) -> dict:
+        return {
+            "benchmark": self.name,
+            "recovered": self.recovered,
+            "static_speedup": round(self.static_speedup, 2),
+            "dynamic_speedup": round(self.dynamic_speedup, 2),
+            "warm_speedup": round(self.warm_speedup, 2),
+            "warm_gap_pct": round(100 * self.warm_gap, 1),
+            "dyn_energy_savings_pct": round(100 * self.energy_savings, 1),
+            "kernels": len(self.timeline.final_resident),
+            "repartitions": len(self.timeline.events),
+        }
+
+
+def run_dynamic_flow(*args, **kwargs) -> DynamicFlowReport:
+    """Online-partitioning flow; see :func:`repro.dynamic.flow.run_dynamic_flow`."""
+    from repro.dynamic.flow import run_dynamic_flow as _impl
+
+    return _impl(*args, **kwargs)

@@ -1,0 +1,157 @@
+"""On-disk memoisation of :class:`~repro.flow.FlowReport` objects.
+
+Flow runs are deterministic functions of (source text, optimization level,
+platform, step budget), so a completed report can be pickled once and
+reloaded by any later session -- repeated sweeps (``python -m repro sweep``,
+``benchmarks/``, ``examples/full_study.py``) then skip the expensive
+compile -> simulate -> decompile -> synthesize pipeline entirely.
+
+Layout: one pickle per report under ``~/.cache/repro/flow/`` (override the
+root with ``REPRO_CACHE_DIR``), file name = SHA-256 of the canonical key.
+The key includes the package version *and* a fingerprint of the package's
+own source files (path, size, mtime), so editing any ``repro`` module
+invalidates every stale entry at once -- a mid-development code change can
+never silently serve pre-change results.  Set ``REPRO_CACHE=off`` to
+disable the cache globally; every read/write failure degrades to a miss --
+the cache can slow nothing down and break nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.flow import FlowJob, FlowReport
+
+#: bump to invalidate all cached reports after a format change
+CACHE_FORMAT = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_TOGGLE_ENV = "REPRO_CACHE"
+
+
+def cache_enabled() -> bool:
+    """The cache default: on, unless ``REPRO_CACHE`` says otherwise."""
+    return os.environ.get(CACHE_TOGGLE_ENV, "").lower() not in (
+        "0", "off", "no", "false",
+    )
+
+
+def cache_dir() -> Path:
+    root = os.environ.get(CACHE_DIR_ENV)
+    if root:
+        return Path(root) / "flow"
+    return Path.home() / ".cache" / "repro" / "flow"
+
+
+def _source_fingerprint() -> str:
+    """Hash of the installed ``repro`` package's source file metadata.
+
+    (relative path, size, mtime) per ``*.py`` file is enough to catch any
+    edit; a spurious mtime change (fresh checkout) merely costs one cache
+    miss.  Computed once per process.
+    """
+    global _SOURCE_FINGERPRINT
+    if _SOURCE_FINGERPRINT is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        try:
+            for path in sorted(root.rglob("*.py")):
+                stat = path.stat()
+                digest.update(
+                    f"{path.relative_to(root)}\x1f{stat.st_size}"
+                    f"\x1f{stat.st_mtime_ns}\x1e".encode()
+                )
+        except OSError:
+            pass
+        _SOURCE_FINGERPRINT = digest.hexdigest()
+    return _SOURCE_FINGERPRINT
+
+
+_SOURCE_FINGERPRINT: str | None = None
+
+
+def job_key(job: FlowJob) -> str:
+    """Stable content hash of everything a flow run depends on."""
+    from repro import __version__
+
+    platform = job.platform
+    fingerprint = "\x1f".join([
+        f"v{CACHE_FORMAT}",
+        __version__,
+        _source_fingerprint(),
+        job.name,
+        job.source,
+        str(job.opt_level),
+        str(job.max_steps),
+        # frozen-dataclass reprs are deterministic and cover every field of
+        # the platform, its device, CPI and power models
+        repr(platform),
+    ])
+    return hashlib.sha256(fingerprint.encode()).hexdigest()
+
+
+def _path_for(job: FlowJob) -> Path:
+    return cache_dir() / f"{job_key(job)}.pkl"
+
+
+def load_report(job: FlowJob) -> FlowReport | None:
+    """Cached report for *job*, or ``None`` on any kind of miss."""
+    try:
+        with open(_path_for(job), "rb") as fh:
+            report = pickle.load(fh)
+    except Exception:
+        # a cache read must never break a sweep: unpickling a corrupt or
+        # stale file can raise nearly anything (OSError, UnpicklingError,
+        # ValueError on bad protocol bytes, AttributeError/ImportError on
+        # renamed classes, ...) and every one of them is just a miss
+        return None
+    # sanity: a stale or foreign pickle must never poison a sweep
+    from repro.flow import FlowReport
+
+    if not isinstance(report, FlowReport) or report.name != job.name:
+        return None
+    return report
+
+
+def store_report(job: FlowJob, report: FlowReport) -> None:
+    """Persist *report*; failures are silently ignored (cache, not storage)."""
+    path = _path_for(job)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic publish: other processes only ever see complete pickles
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(report, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except (OSError, pickle.PicklingError):
+        pass
+
+
+def clear() -> int:
+    """Delete every cached report; returns the number of files removed."""
+    removed = 0
+    try:
+        for entry in cache_dir().glob("*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    except OSError:
+        pass
+    return removed

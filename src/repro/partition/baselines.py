@@ -51,7 +51,7 @@ def greedy_partition(
 ) -> PartitionResult:
     """Greedy by time-saved per gate (classic knapsack value density)."""
     start = time.perf_counter()
-    budget = platform.device.capacity_gates
+    budget = platform.capacity_gates
     ranked = sorted(
         candidates,
         key=lambda c: -(c.saved_seconds / c.area if c.area > 0 else 0.0),
@@ -76,7 +76,7 @@ def exhaustive_partition(
 ) -> PartitionResult:
     """Optimal subset by estimated application time (reference, small n)."""
     start = time.perf_counter()
-    budget = platform.device.capacity_gates
+    budget = platform.capacity_gates
     pool = sorted(candidates, key=lambda c: -c.saved_seconds)[:max_candidates]
     best: list[Candidate] = []
     best_saved = 0.0
@@ -106,7 +106,7 @@ def gclp_partition(
     models; it is a faithful adaptation, not a line-by-line port.
     """
     start = time.perf_counter()
-    budget = platform.device.capacity_gates
+    budget = platform.capacity_gates
     objective = 0.5 * platform.cpu_seconds(total_cycles)  # target: halve time
 
     unmapped = [c for c in candidates if c.saved_seconds > 0]
@@ -143,7 +143,7 @@ def annealing_partition(
     with an area-violation penalty.  Deterministic via a fixed seed."""
     start = time.perf_counter()
     rng = random.Random(seed)
-    budget = platform.device.capacity_gates
+    budget = platform.capacity_gates
     pool = [c for c in candidates if c.saved_seconds != 0.0]
     if not pool:
         return _result([], budget, "annealing", time.perf_counter() - start)

@@ -52,20 +52,30 @@ class Candidate:
         )
 
 
+def kernel_fpga_cycles(kernel: HwKernel, profile: LoopProfile) -> float:
+    """FPGA cycles for *kernel* to perform the profiled work (no CPU side).
+
+    Shared by the static estimate below and the dynamic controller's
+    interval accounting, so placement decisions and timeline arithmetic can
+    never drift apart.
+    """
+    if kernel.pipelined:
+        iterations = profile.iterations * kernel.iterations_multiplier
+        fill = max(0, kernel.schedule_length - kernel.ii)
+        return iterations * kernel.ii + profile.invocations * fill
+    fpga_cycles = 0.0
+    for start, length in kernel.block_schedules.items():
+        count = profile.block_counts.get(start, 0)
+        fpga_cycles += count * length * kernel.iterations_multiplier
+    return fpga_cycles
+
+
 def kernel_hw_seconds(
     platform: Platform, kernel: HwKernel, profile: LoopProfile
 ) -> float:
     """Wall-clock seconds for *kernel* to perform the profiled work."""
     fpga_hz = kernel.clock_mhz * 1e6
-    if kernel.pipelined:
-        iterations = profile.iterations * kernel.iterations_multiplier
-        fill = max(0, kernel.schedule_length - kernel.ii)
-        fpga_cycles = iterations * kernel.ii + profile.invocations * fill
-    else:
-        fpga_cycles = 0.0
-        for start, length in kernel.block_schedules.items():
-            count = profile.block_counts.get(start, 0)
-            fpga_cycles += count * length * kernel.iterations_multiplier
+    fpga_cycles = kernel_fpga_cycles(kernel, profile)
     overhead_cycles = profile.invocations * platform.invocation_overhead_cycles
     migration_cycles = 0.0
     if kernel.localized and kernel.bram_bytes:

@@ -54,7 +54,7 @@ class NinetyTenPartitioner:
 
     def partition(self, candidates: list[Candidate], total_cycles: int) -> PartitionResult:
         start_time = time.perf_counter()
-        budget = self.platform.device.capacity_gates
+        budget = self.platform.capacity_gates
         result = PartitionResult(area_budget=budget, algorithm="90-10")
 
         def fits(candidate: Candidate) -> bool:

@@ -12,6 +12,9 @@ from repro.platform.platform import (
     MIPS_200MHZ,
     MIPS_400MHZ,
     MIPS_40MHZ,
+    SOFT_CORES,
+    SOFTCORE_50MHZ,
+    SOFTCORE_85MHZ,
     Platform,
 )
 from repro.platform.power import CpuPowerModel, FpgaPowerModel
@@ -29,6 +32,9 @@ __all__ = [
     "MIPS_200MHZ",
     "MIPS_400MHZ",
     "MIPS_40MHZ",
+    "SOFT_CORES",
+    "SOFTCORE_50MHZ",
+    "SOFTCORE_85MHZ",
     "Platform",
     "evaluate_partition",
 ]

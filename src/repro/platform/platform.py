@@ -1,4 +1,17 @@
-"""Platform definition: CPU clock, FPGA device, communication costs."""
+"""Platform definition: CPU clock, FPGA device, communication costs.
+
+Two core families are modeled:
+
+* **hard cores** -- the paper's hypothetical ASIC MIPS next to a Virtex-II
+  fabric (40/200/400 MHz), and
+* **soft cores** -- MicroBlaze/Nios-style processors synthesized *into* the
+  FPGA fabric, following Lysecky & Vahid's dynamic-partitioning study of
+  soft processor cores.  A soft core runs much slower (tens of MHz), has no
+  hardware divider (serial divide), and -- crucially for partitioning --
+  occupies part of the FPGA itself, so less fabric is left for kernels.
+  :attr:`Platform.capacity_gates` is the partitioners' area budget and
+  already nets out the core's own footprint.
+"""
 
 from __future__ import annotations
 
@@ -25,11 +38,48 @@ class Platform:
     #: one-time CPU cycles per word to migrate a localized data region into
     #: FPGA block RAM (and dirty regions back) per kernel *activation phase*
     migration_cycles_per_word: int = 2
+    #: "hard" (ASIC CPU next to the FPGA) or "soft" (CPU in the fabric)
+    core: str = "hard"
+    #: fabric consumed by the soft core itself (0 for hard cores)
+    core_area_gates: float = 0.0
 
     def cpu_seconds(self, cycles: float) -> float:
         return cycles / (self.cpu_clock_mhz * 1e6)
+
+    @property
+    def capacity_gates(self) -> float:
+        """FPGA area available to kernels: the device minus the soft core."""
+        return max(0.0, self.device.capacity_gates - self.core_area_gates)
 
 
 MIPS_40MHZ = Platform(name="MIPS-40MHz + Virtex-II", cpu_clock_mhz=40.0)
 MIPS_200MHZ = Platform(name="MIPS-200MHz + Virtex-II", cpu_clock_mhz=200.0)
 MIPS_400MHZ = Platform(name="MIPS-400MHz + Virtex-II", cpu_clock_mhz=400.0)
+
+#: soft cores: no hardware divider (bit-serial divide), two-cycle multiply
+#: via fabric MULT blocks; the memory system is the same on-chip SRAM bus.
+_SOFTCORE_CPI = CpiModel(mult=2, div=34)
+
+#: MicroBlaze-class soft core on the same Virtex-II: ~85 MHz, ~28 k
+#: equivalent gates of fabric, and worse energy per cycle than an ASIC core
+#: (LUT-based datapaths toggle far more capacitance per operation).
+SOFTCORE_85MHZ = Platform(
+    name="SoftCore-85MHz (MicroBlaze-style, in-fabric) + Virtex-II",
+    cpu_clock_mhz=85.0,
+    cpi=_SOFTCORE_CPI,
+    cpu_power=CpuPowerModel(active_mw_per_mhz=2.4, base_mw=20.0, idle_fraction=0.6),
+    core="soft",
+    core_area_gates=28_000.0,
+)
+
+#: Nios/picoblaze-class economy configuration: half the clock, smaller core.
+SOFTCORE_50MHZ = Platform(
+    name="SoftCore-50MHz (economy, in-fabric) + Virtex-II",
+    cpu_clock_mhz=50.0,
+    cpi=_SOFTCORE_CPI,
+    cpu_power=CpuPowerModel(active_mw_per_mhz=2.0, base_mw=15.0, idle_fraction=0.6),
+    core="soft",
+    core_area_gates=16_000.0,
+)
+
+SOFT_CORES = [SOFTCORE_85MHZ, SOFTCORE_50MHZ]

@@ -25,6 +25,14 @@ Design notes:
   be a reasonable in-order five-stage approximation.
 * ``break`` halts the machine cleanly (the compiler's ``_start`` stub ends
   with one).  ``syscall`` is reserved and raises, keeping benchmarks I/O-free.
+* A **periodic sampling hook** supports online (run-time) profiling: pass
+  ``on_sample``/``sample_interval`` to :meth:`Cpu.run` and the dispatch loop
+  executes in chunks of *sample_interval* instructions, invoking the callback
+  between chunks with the live per-site counter arrays.  The chunking happens
+  *outside* the dispatch loop, so a run without a callback executes the exact
+  same single ``repeat`` loop as before -- zero hot-path cost -- and a run
+  with one pays only the callback itself every N instructions.  This is what
+  the warp-style dynamic partitioner (:mod:`repro.dynamic`) piggybacks on.
 * When *profile* is enabled the simulator records per-address execution
   counts and taken-edge counts.  These are exactly the "profiling results"
   the paper's partitioner consumes.
@@ -153,6 +161,22 @@ class Cpu:
     @property
     def profile(self) -> bool:
         return self._profile
+
+    # Static control-transfer sites, exposed for online profilers: maps of
+    # instruction index -> (source pc, target pc).  Branch edges count via
+    # the per-site taken array; jump edges via the execution counters.
+    @property
+    def branch_edges(self) -> dict[int, tuple[int, int]]:
+        return self._branch_edges
+
+    @property
+    def jump_edges(self) -> dict[int, tuple[int, int]]:
+        return self._jump_edges
+
+    @property
+    def site_costs(self) -> list[int]:
+        """Per-instruction-index cycle cost (without taken penalties)."""
+        return self._costs
 
     # -- helpers -----------------------------------------------------------
 
@@ -570,8 +594,22 @@ class Cpu:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, max_steps: int = 100_000_000) -> RunResult:
-        """Run until ``break`` or *max_steps*; return statistics."""
+    def run(
+        self,
+        max_steps: int = 100_000_000,
+        sample_interval: int = 0,
+        on_sample=None,
+    ) -> RunResult:
+        """Run until ``break`` or *max_steps*; return statistics.
+
+        When *on_sample* is given, the dispatch loop runs in chunks of
+        *sample_interval* instructions and ``on_sample(counts, taken)`` is
+        called between chunks (and once more when the program halts) with
+        the **live** cumulative counter arrays -- callbacks must copy
+        anything they want to keep.  ``counts[i]``/``taken[i]`` are the
+        execution/branch-taken counters of instruction index ``i``
+        (address ``text_base + 4*i``).
+        """
         text_base = self.exe.text_base
         text_len = len(self._decoded)
         handlers = self._handlers
@@ -588,11 +626,23 @@ class Cpu:
 
         halted = False
         try:
-            for _ in repeat(None, max_steps):
-                counts[index] += 1
-                index = handlers[index]()
+            if on_sample is None or sample_interval <= 0:
+                for _ in repeat(None, max_steps):
+                    counts[index] += 1
+                    index = handlers[index]()
+            else:
+                remaining = max_steps
+                while remaining > 0:
+                    chunk = min(sample_interval, remaining)
+                    for _ in repeat(None, chunk):
+                        counts[index] += 1
+                        index = handlers[index]()
+                    remaining -= chunk
+                    on_sample(counts, taken)
         except _Halt:
             halted = True
+            if on_sample is not None and sample_interval > 0:
+                on_sample(counts, taken)
 
         pc = text_base + (index << 2)
         self.pc = pc

@@ -1,0 +1,92 @@
+"""The periodic sampling hook must not perturb simulation semantics."""
+
+from repro.compiler import compile_source
+from repro.sim import run_executable
+from repro.sim.cpu import Cpu
+
+_SOURCE = """
+int data[64];
+int checksum;
+int main(void) {
+    int i; int r;
+    for (r = 0; r < 50; r++)
+        for (i = 0; i < 64; i++) data[i] = (data[i] * 3 + r) & 2047;
+    checksum = data[11];
+    return 0;
+}
+"""
+
+
+def _exe():
+    return compile_source(_SOURCE, opt_level=1)
+
+
+class TestSampleHook:
+    def test_callback_cadence_and_flush(self):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True)
+        calls = []
+        interval = 1000
+
+        def on_sample(counts, taken):
+            calls.append(sum(counts))
+
+        result = cpu.run(sample_interval=interval, on_sample=on_sample)
+        # one call per full chunk plus the flush at halt
+        assert len(calls) == result.steps // interval + 1
+        # counters are cumulative and monotonic
+        assert calls == sorted(calls)
+        assert calls[-1] == result.steps
+        # intermediate samples land exactly on the chunk boundaries
+        for position, total in enumerate(calls[:-1], start=1):
+            assert total == position * interval
+
+    def test_results_identical_with_and_without_hook(self):
+        exe = _exe()
+        plain_cpu = Cpu(exe, profile=True)
+        plain = plain_cpu.run()
+        hooked_cpu = Cpu(exe, profile=True)
+        hooked = hooked_cpu.run(sample_interval=777, on_sample=lambda c, t: None)
+        assert plain.steps == hooked.steps
+        assert plain.cycles == hooked.cycles
+        assert plain.pc_counts == hooked.pc_counts
+        assert plain.edge_counts == hooked.edge_counts
+        assert plain.mix == hooked.mix
+        assert plain_cpu.read_word_global_signed("checksum") == \
+            hooked_cpu.read_word_global_signed("checksum")
+
+    def test_zero_interval_means_no_callback(self):
+        exe = _exe()
+        cpu = Cpu(exe)
+        calls = []
+        cpu.run(sample_interval=0, on_sample=lambda c, t: calls.append(1))
+        assert calls == []
+
+    def test_deltas_reconstruct_run(self):
+        """Interval deltas of the live arrays must sum to the final stats."""
+        exe = _exe()
+        cpu = Cpu(exe, profile=True)
+        text_len = len(exe.text_words)
+        prev = [0] * text_len
+        interval_steps = []
+
+        def on_sample(counts, taken):
+            nonlocal prev
+            interval_steps.append(
+                sum(counts[i] - prev[i] for i in range(text_len))
+            )
+            prev = counts[:text_len]
+
+        result = cpu.run(sample_interval=2048, on_sample=on_sample)
+        assert sum(interval_steps) == result.steps
+
+    def test_static_edge_maps_exposed(self):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True)
+        assert cpu.site_costs and len(cpu.site_costs) == len(exe.text_words)
+        # the nested loops guarantee at least one backward control edge
+        # (the compiler emits loop back-edges as branches or jumps)
+        edges = list(cpu.branch_edges.values()) + list(cpu.jump_edges.values())
+        assert any(dst <= src for src, dst in edges)
+        for index, (src, dst) in {**cpu.branch_edges, **cpu.jump_edges}.items():
+            assert src == exe.text_base + 4 * index

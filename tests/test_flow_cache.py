@@ -1,0 +1,97 @@
+"""On-disk flow-report cache: hits, misses, keys, and the kill switch."""
+
+import pickle
+
+import pytest
+
+from repro import flow_cache
+from repro.flow import FlowJob, run_flows
+from repro.platform import MIPS_200MHZ, MIPS_40MHZ
+from repro.programs import get_benchmark
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(flow_cache.CACHE_DIR_ENV, str(tmp_path))
+    monkeypatch.delenv(flow_cache.CACHE_TOGGLE_ENV, raising=False)
+    return tmp_path
+
+
+def _job(name="brev", platform=MIPS_200MHZ, opt_level=1):
+    return FlowJob(
+        source=get_benchmark(name).source, name=name,
+        opt_level=opt_level, platform=platform,
+    )
+
+
+class TestCacheRoundTrip:
+    def test_second_sweep_hits_disk(self, cache_dir, monkeypatch):
+        job = _job()
+        [first] = run_flows([job], max_workers=1)
+        files = list((cache_dir / "flow").glob("*.pkl"))
+        assert len(files) == 1
+        # a cache hit must not recompute: poison the execution path
+        monkeypatch.setattr(
+            "repro.flow._run_flows_uncached",
+            lambda jobs, workers: pytest.fail("cache miss on second sweep"),
+        )
+        [second] = run_flows([job], max_workers=1)
+        assert second.summary_row() == first.summary_row()
+        assert second.run.cycles == first.run.cycles
+
+    def test_cache_false_bypasses(self, cache_dir):
+        run_flows([_job()], max_workers=1, cache=False)
+        assert not list((cache_dir / "flow").glob("*.pkl"))
+
+    def test_env_kill_switch(self, cache_dir, monkeypatch):
+        monkeypatch.setenv(flow_cache.CACHE_TOGGLE_ENV, "off")
+        run_flows([_job()], max_workers=1)
+        assert not list((cache_dir / "flow").glob("*.pkl"))
+        assert not flow_cache.cache_enabled()
+
+    def test_clear(self, cache_dir):
+        run_flows([_job()], max_workers=1)
+        assert flow_cache.clear() == 1
+        assert not list((cache_dir / "flow").glob("*.pkl"))
+
+
+class TestCacheKeys:
+    def test_key_distinguishes_opt_level_and_platform(self):
+        base = _job()
+        assert flow_cache.job_key(base) == flow_cache.job_key(_job())
+        assert flow_cache.job_key(base) != flow_cache.job_key(_job(opt_level=2))
+        assert flow_cache.job_key(base) != flow_cache.job_key(
+            _job(platform=MIPS_40MHZ)
+        )
+        assert flow_cache.job_key(base) != flow_cache.job_key(_job(name="crc"))
+
+    def test_key_distinguishes_source(self):
+        a = FlowJob(source="int main(void){return 0;}", name="x")
+        b = FlowJob(source="int main(void){return 1;}", name="x")
+        assert flow_cache.job_key(a) != flow_cache.job_key(b)
+
+
+class TestCorruption:
+    def test_corrupt_pickle_is_a_miss(self, cache_dir):
+        job = _job()
+        [first] = run_flows([job], max_workers=1)
+        [path] = list((cache_dir / "flow").glob("*.pkl"))
+        path.write_bytes(b"not a pickle")
+        [again] = run_flows([job], max_workers=1)
+        assert again.summary_row() == first.summary_row()
+
+    def test_wrong_object_is_a_miss(self, cache_dir):
+        job = _job()
+        run_flows([job], max_workers=1)
+        [path] = list((cache_dir / "flow").glob("*.pkl"))
+        path.write_bytes(pickle.dumps({"not": "a report"}))
+        assert flow_cache.load_report(job) is None
+
+
+class TestMixedBatches:
+    def test_partial_hits_preserve_order(self, cache_dir):
+        crc = _job("crc")
+        run_flows([crc], max_workers=1)
+        reports = run_flows([_job("brev"), crc, _job("blit")], max_workers=1)
+        assert [r.name for r in reports] == ["brev", "crc", "blit"]
+        assert all(r.recovered for r in reports)

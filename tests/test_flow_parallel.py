@@ -1,7 +1,10 @@
 """The parallel sweep runner must be a drop-in for serial flow runs."""
 
+from concurrent.futures.process import BrokenProcessPool
+
 import pytest
 
+import repro.flow
 from repro.errors import ReproError
 from repro.flow import FlowJob, run_flow, run_flows
 from repro.platform import MIPS_200MHZ, MIPS_40MHZ
@@ -49,3 +52,28 @@ class TestRunFlows:
             run_flows(jobs, max_workers=2)
         with pytest.raises(ReproError):
             run_flows(jobs, max_workers=1)
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        # a worker process dying from the outside (OOM killer, container
+        # signal) surfaces as BrokenProcessPool -- that is infrastructure
+        # failure, not a job failure, so the sweep must retry serially
+        class _BrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, iterable):
+                raise BrokenProcessPool(
+                    "A process in the process pool was terminated abruptly"
+                )
+
+        monkeypatch.setattr(repro.flow, "ProcessPoolExecutor", _BrokenPool)
+        jobs = [job_for(name) for name in NAMES]
+        reports = run_flows(jobs, max_workers=2, cache=False)
+        assert [r.name for r in reports] == NAMES
+        assert all(r.recovered for r in reports)
