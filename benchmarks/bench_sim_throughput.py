@@ -10,15 +10,26 @@ Reported numbers:
 
 * ``single_run`` -- raw simulation throughput (million instr/s) on a few
   representative benchmarks, profiled and unprofiled, best of N runs.
+  The headline numbers are the default (superblock) engine; each entry
+  also carries the threaded engine's throughput and the resulting
+  superblock-vs-threaded speedup, so dispatch regressions are visible
+  without digging through history.
 * ``sweep`` -- wall-clock seconds for the full 20-benchmark single-platform
   flow sweep (compile + simulate + decompile + partition + synthesize),
   serial and through the parallel runner.  The on-disk flow cache is
   bypassed so the numbers measure computation, not pickle loading.
 
+``--smoke`` runs a fast host-independent regression gate instead: it
+compares the two engines on the same machine and fails (exit 1) when the
+superblock engine does not clearly beat threaded dispatch.  CI runs this
+on every push; absolute instr/s vary wildly across shared runners, the
+engine-vs-engine ratio does not.
+
 Earlier entries are preserved under ``history`` so the file carries the
 whole perf trajectory: seed (~0.96M instr/s on ``brev``, ~5.8 s serial
 sweep with the string-dispatch interpreter) -> PR 1 threaded code (~7.8M
-instr/s) -> onward.  Future perf PRs must keep the trajectory monotonic.
+instr/s) -> PR 4 superblock dispatch (~2-3x threaded) -> onward.  Future
+perf PRs must keep the trajectory monotonic.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
@@ -37,13 +49,18 @@ from repro.sim.cpu import Cpu
 SINGLE_RUN_BENCHMARKS = ["brev", "crc", "fir", "adpcm"]
 REPEATS = 9  # best-of-N; raised from 5 to damp shared-host noise
 
+#: --smoke fails below this superblock/threaded ratio; the real margin is
+#: ~2-3x, so 1.4 only trips when block dispatch genuinely regressed
+SMOKE_MIN_SPEEDUP = 1.4
 
-def time_single_run(name: str, profile: bool) -> dict:
+
+def time_single_run(name: str, profile: bool, engine: str = "superblock",
+                    repeats: int = REPEATS) -> dict:
     exe = compile_source(get_benchmark(name).source)
     best = float("inf")
     steps = 0
-    for _ in range(REPEATS):
-        cpu = Cpu(exe, profile=profile)
+    for _ in range(repeats):
+        cpu = Cpu(exe, profile=profile, engine=engine)
         start = time.perf_counter()
         result = cpu.run()
         best = min(best, time.perf_counter() - start)
@@ -62,6 +79,26 @@ def time_sweep(max_workers: int | None) -> float:
     return round(time.perf_counter() - start, 3)
 
 
+def run_smoke() -> int:
+    """Fast engine-vs-engine regression gate for CI; returns an exit code."""
+    failures = []
+    for name in ("brev", "crc"):
+        fast = time_single_run(name, profile=False, engine="superblock", repeats=3)
+        slow = time_single_run(name, profile=False, engine="threaded", repeats=3)
+        speedup = fast["mips"] / slow["mips"] if slow["mips"] else 0.0
+        status = "ok" if speedup >= SMOKE_MIN_SPEEDUP else "REGRESSED"
+        print(f"{name:8s} superblock {fast['mips']:7.2f}M  threaded "
+              f"{slow['mips']:7.2f}M  ({speedup:.2f}x) {status}")
+        if speedup < SMOKE_MIN_SPEEDUP:
+            failures.append(name)
+    if failures:
+        print(f"smoke FAILED: superblock dispatch below {SMOKE_MIN_SPEEDUP}x "
+              f"threaded on: {', '.join(failures)}")
+        return 1
+    print("smoke passed")
+    return 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -69,18 +106,30 @@ def main() -> None:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_sim.json"),
     )
     parser.add_argument("--label", default="",
-                        help="trajectory label for this entry (e.g. 'PR 3')")
+                        help="trajectory label for this entry (e.g. 'PR 4')")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick engine-vs-engine regression gate; "
+                             "no BENCH_sim.json update")
     args = parser.parse_args()
+
+    if args.smoke:
+        sys.exit(run_smoke())
 
     single = {}
     for name in SINGLE_RUN_BENCHMARKS:
-        single[name] = {
+        threaded = time_single_run(name, profile=False, engine="threaded")
+        row = {
             "no_profile": time_single_run(name, profile=False),
             "profile": time_single_run(name, profile=True),
+            "threaded_no_profile": threaded,
         }
-        row = single[name]
+        row["speedup_vs_threaded"] = round(
+            row["no_profile"]["mips"] / threaded["mips"], 2
+        )
+        single[name] = row
         print(f"{name:8s} {row['no_profile']['mips']:7.2f}M instr/s "
-              f"({row['profile']['mips']:.2f}M profiled)")
+              f"({row['profile']['mips']:.2f}M profiled, "
+              f"{row['speedup_vs_threaded']:.2f}x over threaded)")
 
     serial = time_sweep(max_workers=1)
     print(f"sweep    {serial:7.2f}s serial (20 benchmarks, 200 MHz platform)")
@@ -91,6 +140,7 @@ def main() -> None:
     payload = {
         "benchmark": "sim_throughput",
         "cpu_count": workers,
+        "engine": "superblock",
         "single_run": single,
         "sweep": {
             "benchmarks": len(ALL_BENCHMARKS),

@@ -66,7 +66,7 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     exe = _load(args.binary)
-    cpu, result = run_executable(exe, profile=args.profile)
+    cpu, result = run_executable(exe, profile=args.profile, engine=args.engine)
     print(f"halted: {result.halted}  instructions: {result.steps:,}  "
           f"cycles: {result.cycles:,}  CPI: {result.cpi:.2f}")
     if args.read:
@@ -276,6 +276,11 @@ def main(argv=None) -> int:
     p = sub.add_parser("run", help="execute a binary on the cycle simulator")
     p.add_argument("binary")
     p.add_argument("--profile", action="store_true")
+    p.add_argument("--engine", default="superblock",
+                   choices=["superblock", "threaded"],
+                   help="dispatch engine (superblock is ~2-3x faster; "
+                        "both are differentially tested against the "
+                        "reference interpreter)")
     p.add_argument("--read", nargs="*", help="data symbols to print after the run")
     p.set_defaults(fn=cmd_run)
 

@@ -1,9 +1,11 @@
 """End-to-end dynamic (run-time) partitioning flow.
 
 One simulation serves both sides of the comparison: the application runs
-once on the threaded simulator with the sampling hook driving the online
-profiler and dynamic partition controller, and the very same profiled
-:class:`~repro.sim.cpu.RunResult` then feeds the ordinary static flow.  The
+once on the simulator (superblock dispatch; the sampling hook fires at
+identical instruction counts on every engine) with the hook driving the
+online profiler and dynamic partition controller, and the very same
+profiled :class:`~repro.sim.cpu.RunResult` then feeds the ordinary static
+flow.  The
 resulting :class:`~repro.flow.DynamicFlowReport` holds the static (oracle
 profile, no overheads) partition next to the dynamic timeline (online
 profile, CAD/reconfiguration charged), which is exactly the comparison the

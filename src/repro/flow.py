@@ -197,6 +197,10 @@ def run_flows(
     return reports
 
 
+def _run_serial(job_list: Sequence[FlowJob]) -> list[FlowReport]:
+    return [_execute_job(job) for job in job_list]
+
+
 def _run_flows_uncached(
     job_list: Sequence[FlowJob], max_workers: int | None
 ) -> list[FlowReport]:
@@ -204,9 +208,12 @@ def _run_flows_uncached(
         max_workers = os.cpu_count() or 1
     max_workers = min(max_workers, len(job_list))
     if max_workers <= 1:
-        return [_execute_job(job) for job in job_list]
+        return _run_serial(job_list)
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            # consume inside the `with` block: results stream back as
+            # workers finish, and a pool that breaks mid-iteration is
+            # caught here rather than surfacing from __exit__
             return list(pool.map(_execute_job_guarded, job_list))
     except _JobFailure as failure:
         # re-raise the job's own exception; keep concurrent.futures'
@@ -217,7 +224,14 @@ def _run_flows_uncached(
         # semaphores.  BrokenExecutor/BrokenProcessPool: a worker died from
         # the *outside* (OOM kill, container signal) -- that is pool
         # infrastructure failing, not the job itself, so retry serially.
-        return [_execute_job(job) for job in job_list]
+        # The retry runs *outside* this handler (below): the broken pool
+        # has fully torn down (the `with` block joined its remains before
+        # the except body ran), the handler keeps no reference to the
+        # in-flight exception, and on single-core hosts the serial pass --
+        # which can take minutes for a big sweep -- is not racing half-dead
+        # worker processes for CPU, which made this path timing-sensitive.
+        pass
+    return _run_serial(job_list)
 
 
 def run_flow_on_executable(

@@ -10,7 +10,9 @@ results* (per-address and per-edge execution counts) that drive the paper's
 from repro.sim.memory import Memory
 from repro.sim.cpu import Cpu, CpiModel, RunResult, run_executable
 from repro.sim.reference import run_reference
+from repro.sim.superblock import SuperblockTable
 
 __all__ = [
-    "Cpu", "CpiModel", "Memory", "RunResult", "run_executable", "run_reference",
+    "Cpu", "CpiModel", "Memory", "RunResult", "SuperblockTable",
+    "run_executable", "run_reference",
 ]

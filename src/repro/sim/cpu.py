@@ -1,11 +1,11 @@
-"""Functional + cycle-level MIPS-I simulator (threaded-code interpreter).
+"""Functional + cycle-level MIPS-I simulator (threaded + superblock dispatch).
 
 Design notes:
 
 * The text section is pre-decoded **once, at construction**, into a flat
   table of per-instruction executors: each text word becomes a closure with
   its operand registers, immediates and (for control transfers) target
-  *indices* already bound.  The hot loop is then just
+  *indices* already bound.  The threaded hot loop is then just
 
       counts[index] += 1
       index = handlers[index]()
@@ -13,6 +13,14 @@ Design notes:
   -- no string compares, no ``getattr``, no per-step attribute lookups.
   This is the classic threaded-code trade-off for an ISS written in pure
   Python and is worth ~5x over the old mnemonic-string dispatch chain.
+* On top of that table the default **superblock** engine
+  (:mod:`repro.sim.superblock`) fuses each straight-line run of
+  instructions into one generated Python function, so the dispatch loop
+  pays one call per basic block instead of per instruction -- roughly
+  another 2-3x.  The threaded table stays fully built either way: the
+  superblock loop falls back to it to single-step chunk tails (exact
+  sampling boundaries) and dynamic mid-block jump targets.  Select with
+  ``Cpu(exe, engine="threaded"|"superblock")``.
 * Statistics are *derived*, not collected: the loop maintains one
   per-instruction execution counter; branch executors bump a per-site
   taken counter.  ``steps``, ``cycles``, ``pc_counts``, ``mix`` and the
@@ -78,7 +86,14 @@ _MNEMONIC_CLASS = {mnem: spec.klass for mnem, spec in SPECS.items()}
 
 
 class _Halt(Exception):
-    """Raised by the ``break`` executor to leave the dispatch loop."""
+    """Raised by the ``break`` executor to leave the dispatch loop.
+
+    Superblock-generated ``break`` code raises it with the instruction
+    *index* of the ``break`` as its only argument, so the dispatch loop can
+    report the precise halt pc even though it only tracks block entries;
+    the per-instruction threaded executors raise it bare (the loop variable
+    already points at the ``break``).
+    """
 
 
 @dataclass(frozen=True)
@@ -133,11 +148,17 @@ class Cpu:
         memory: Memory | None = None,
         cpi: CpiModel | None = None,
         profile: bool = False,
+        engine: str = "superblock",
     ):
+        if engine not in ("superblock", "threaded"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'superblock' or 'threaded'"
+            )
         self.exe = exe
         self.memory = memory if memory is not None else Memory()
         self._cpi = cpi if cpi is not None else CpiModel()
         self._profile = profile
+        self._engine = engine
         load_into_memory(exe, self.memory)
         self._decoded = [decode(word) for word in exe.text_words]
         self.regs = [0] * 32
@@ -150,6 +171,13 @@ class Cpu:
         self._taken = [0] * len(self._decoded)
         self._dyn_edges: dict[tuple[int, int], int] = {}
         self._build_table()
+        if engine == "superblock":
+            # deferred import: superblock.py imports _Halt from this module
+            from repro.sim.superblock import SuperblockTable
+
+            self._sb = SuperblockTable(self)
+        else:
+            self._sb = None
 
     # The executor table bakes cycle costs and profile hooks in at build
     # time, so these are constructor-only: assigning them later would
@@ -161,6 +189,23 @@ class Cpu:
     @property
     def profile(self) -> bool:
         return self._profile
+
+    @property
+    def engine(self) -> str:
+        """Dispatch engine: ``"superblock"`` (default) or ``"threaded"``."""
+        return self._engine
+
+    @property
+    def superblocks(self) -> list[tuple[int, int]]:
+        """The superblock partition as (start index, length) pairs.
+
+        Only meaningful on the superblock engine; every decoded instruction
+        belongs to exactly one block and blocks end only at control
+        transfers or immediately before another block's leader.
+        """
+        if self._sb is None:
+            raise SimulationError("superblocks require engine='superblock'")
+        return self._sb.blocks
 
     # Static control-transfer sites, exposed for online profilers: maps of
     # instruction index -> (source pc, target pc).  Branch edges count via
@@ -226,11 +271,18 @@ class Cpu:
         # fall-through past the end; further slots serve as the "taken"
         # continuation of any static branch/jump whose target lies outside
         # the text section (the old loop guard faulted on the next fetch).
+        # Memoized per bad pc so the superblock code generator can resolve
+        # the very same slot for the very same out-of-text target.
         extra_escapes: list = []
+        escape_slots: dict[int, int] = {}
 
         def escape_index(bad_pc: int) -> int:
-            extra_escapes.append(escape(bad_pc))
-            return text_len + len(extra_escapes)
+            slot = escape_slots.get(bad_pc)
+            if slot is None:
+                extra_escapes.append(escape(bad_pc))
+                slot = text_len + len(extra_escapes)
+                escape_slots[bad_pc] = slot
+            return slot
 
         def branch_target(pc: int, imm: int):
             """(taken index, taken pc | None if out of text) for a branch."""
@@ -591,6 +643,7 @@ class Cpu:
         self._klasses = klasses
         self._branch_edges = branch_edges
         self._jump_edges = jump_edges
+        self._escape_slots = escape_slots
 
     # -- execution ---------------------------------------------------------
 
@@ -608,22 +661,48 @@ class Cpu:
         the **live** cumulative counter arrays -- callbacks must copy
         anything they want to keep.  ``counts[i]``/``taken[i]`` are the
         execution/branch-taken counters of instruction index ``i``
-        (address ``text_base + 4*i``).
+        (address ``text_base + 4*i``).  Chunk boundaries land on exactly
+        the same instruction counts on both dispatch engines: the
+        superblock loop only runs a whole block when it fits in the
+        remaining chunk budget and single-steps the tail otherwise.
         """
         text_base = self.exe.text_base
         text_len = len(self._decoded)
-        handlers = self._handlers
         taken = self._taken
         taken[:] = [0] * text_len
         self._dyn_edges.clear()
         self._hilo[0], self._hilo[1] = self.hi, self.lo
-        counts = [0] * len(handlers)
+        counts = [0] * len(self._handlers)
 
         pc = self.pc
         index = (pc - text_base) >> 2
         if pc & 3 or not 0 <= index < text_len:
             raise SimulationError(f"pc outside text section: 0x{pc:08x}")
 
+        if self._sb is not None:
+            index, halted = self._run_superblock(
+                index, counts, max_steps, sample_interval, on_sample
+            )
+        else:
+            index, halted = self._run_threaded(
+                index, counts, max_steps, sample_interval, on_sample
+            )
+
+        pc = text_base + (index << 2)
+        self.pc = pc
+        self.hi, self.lo = self._hilo[0], self._hilo[1]
+        if not halted:
+            raise SimulationError(f"exceeded max_steps={max_steps} (pc=0x{pc:08x})")
+
+        return self._gather(counts)
+
+    def _run_threaded(
+        self, index: int, counts: list[int], max_steps: int,
+        sample_interval: int, on_sample,
+    ) -> tuple[int, bool]:
+        """One closure call per instruction; the PR 1 dispatch loop."""
+        handlers = self._handlers
+        taken = self._taken
         halted = False
         try:
             if on_sample is None or sample_interval <= 0:
@@ -643,14 +722,81 @@ class Cpu:
             halted = True
             if on_sample is not None and sample_interval > 0:
                 on_sample(counts, taken)
+        return index, halted
 
-        pc = text_base + (index << 2)
-        self.pc = pc
-        self.hi, self.lo = self._hilo[0], self._hilo[1]
-        if not halted:
-            raise SimulationError(f"exceeded max_steps={max_steps} (pc=0x{pc:08x})")
+    def _run_superblock(
+        self, index: int, counts: list[int], max_steps: int,
+        sample_interval: int, on_sample,
+    ) -> tuple[int, bool]:
+        """One generated-function call per basic block.
 
-        return self._gather(counts)
+        A block only runs when it fits in the remaining chunk budget;
+        otherwise the per-instruction threaded handlers execute the tail,
+        so step budgets (sampling chunks, ``max_steps``) are honoured to
+        the exact instruction, bit-identical with the threaded loop.
+        Per-block entry counters are folded into *counts* at every
+        observation point (chunk boundary, halt), never mid-chunk.
+        """
+        sb = self._sb
+        sb.reset()
+        entries = sb.entries
+        materialize = sb.materialize
+        handlers = self._handlers
+        taken = self._taken
+        chunked = on_sample is not None and sample_interval > 0
+        halted = False
+        try:
+            if not chunked:
+                # Budget-free dispatch sprees: any run of remaining//L block
+                # calls cannot overshoot max_steps (every block executes at
+                # most L instructions), so the hot loop carries no budget
+                # arithmetic at all.  Halting programs never even reach the
+                # first checkpoint; a runaway one re-derives the executed
+                # count from the counters and finishes with an exact
+                # single-stepped tail, so max_steps semantics stay
+                # bit-identical with the threaded loop.
+                fns = sb.fns
+                longest = sb.max_block_len
+                remaining = max_steps
+                while remaining >= longest:
+                    for _ in repeat(None, remaining // longest):
+                        fn = fns[index]
+                        if fn is None:
+                            fn = materialize(index)[1]
+                        index = fn()
+                    sb.fold_into(counts)
+                    remaining = max_steps - sum(counts)
+                for _ in repeat(None, remaining):
+                    counts[index] += 1
+                    index = handlers[index]()
+            else:
+                remaining = max_steps
+                while remaining > 0:
+                    budget = min(sample_interval, remaining)
+                    remaining -= budget
+                    while budget > 0:
+                        n, fn = entries[index]
+                        if n > budget:
+                            for _ in repeat(None, budget):
+                                counts[index] += 1
+                                index = handlers[index]()
+                            budget = 0
+                            break
+                        if fn is None:
+                            n, fn = materialize(index)
+                        index = fn()
+                        budget -= n
+                    sb.fold_into(counts)
+                    on_sample(counts, taken)
+        except _Halt as halt:
+            halted = True
+            if halt.args:
+                index = halt.args[0]
+            if chunked:
+                sb.fold_into(counts)
+                on_sample(counts, taken)
+        sb.fold_into(counts)
+        return index, halted
 
     def _gather(self, counts: list[int]) -> RunResult:
         """Derive the RunResult statistics from the raw counter arrays."""
@@ -708,8 +854,9 @@ def run_executable(
     profile: bool = False,
     max_steps: int = 100_000_000,
     cpi: CpiModel | None = None,
+    engine: str = "superblock",
 ) -> tuple[Cpu, RunResult]:
     """Convenience: build a CPU for *exe*, run to halt, return (cpu, result)."""
-    cpu = Cpu(exe, cpi=cpi, profile=profile)
+    cpu = Cpu(exe, cpi=cpi, profile=profile, engine=engine)
     result = cpu.run(max_steps=max_steps)
     return cpu, result

@@ -2,9 +2,13 @@
 
 This is the original mnemonic-string-dispatch execution loop the threaded
 interpreter in :mod:`repro.sim.cpu` replaced, kept as an executable
-specification: it is trivially auditable against the MIPS-I manual, and
-``tests/sim/test_threaded.py`` asserts the fast engine produces bit-identical
-:class:`~repro.sim.cpu.RunResult` statistics on the whole benchmark suite.
+specification: it is trivially auditable against the MIPS-I manual, and it
+is the oracle both fast engines (threaded closures and the superblock
+code generator in :mod:`repro.sim.superblock`) are differentially tested
+against -- ``tests/sim/test_threaded.py`` and the randomized harness in
+``tests/sim/test_differential.py`` assert bit-identical
+:class:`~repro.sim.cpu.RunResult` statistics on the whole benchmark suite
+and on generated programs.
 
 One deliberate difference from the seed implementation: ``jalr`` records its
 taken edge under profiling, like every other control transfer (the seed

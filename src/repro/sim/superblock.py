@@ -1,0 +1,767 @@
+"""Superblock dispatch: basic blocks fused into generated Python functions.
+
+The threaded-code interpreter in :mod:`repro.sim.cpu` pays one closure call
+per *instruction*.  This module translates each straight-line run of
+instructions (a basic block: it ends at a branch, ``j``/``jal``, ``jr``/
+``jalr``, ``break``/``syscall``, or immediately before another block's
+leader) into **one generated Python function**, so the dispatch loop pays
+one call per *block*:
+
+    n, fn = entries[index]
+    index = fn()
+
+Design notes:
+
+* **Block formation.**  Leaders are the entry index, every instruction
+  after a control transfer, every static branch/jump target, and every
+  data word that looks like a text address (the compiler's switch jump
+  tables live in ``.data`` as little-endian word arrays of case-target
+  addresses, so this scan guarantees jump-table targets start a block).
+  The leader set only affects *performance*: a register-indirect jump
+  into the middle of a block -- possible in principle for hand-written
+  assembly -- lazily materializes a suffix block starting at that index,
+  so correctness never depends on the discovery heuristics.
+* **Exact statistics.**  Every generated function starts by bumping a
+  per-block entry counter; at every observation point (sampling-hook
+  chunk boundary, halt) the deltas are folded into the per-instruction
+  ``counts`` array the rest of the simulator derives its statistics
+  from.  A block either runs to its end or raises an exception that
+  aborts/halts the run *at its last instruction* (``break``/``syscall``
+  and the ``jr`` target check are always block terminators), so the
+  entry count is an exact execution count for every member instruction.
+  Branch-taken counts and ``jr``/``jalr`` dynamic edges are recorded
+  inline, exactly like the threaded executors do.
+* **Exact step budgets.**  The dispatch loop only runs a block when it
+  fits in the remaining instruction budget of the current chunk;
+  otherwise it falls back to the per-instruction threaded handlers for
+  the tail.  Sampling callbacks therefore fire at *exactly* the same
+  instruction counts as the threaded engine -- mid-block boundaries
+  included -- and ``max_steps`` semantics are bit-identical.
+* **Block-local register JIT.**  Within one block, registers touched
+  more than once are shadowed by Python locals (``x9`` for ``$9``) with
+  *deferred write-back*: loads of ``R[n]`` are emitted lazily at first
+  read, stores are batched and flushed only at the points where the
+  architectural file is observable -- before any statement that can
+  raise (memory accesses, the ``jr``/``jalr`` target check, ``break``/
+  ``syscall``) and at block exit.  Dead intermediate writes therefore
+  never touch ``R`` at all.  On top of that the generator propagates
+  literals: reads of ``$zero`` fold to ``0``, ``lui``/``ori``/``addiu``
+  constants fold into the consuming expressions, and fully-constant
+  ALU results are computed at generation time.  The folds rely on the
+  canonical-u32 invariant: every value stored in ``R`` is already
+  masked to 32 bits (the decoder zero-extends logical immediates, every
+  executor masks its result), so ``x & 0xFFFFFFFF`` is the identity on
+  register reads.
+* **Three copies of the ISA semantics** now exist: the reference
+  interpreter (:mod:`repro.sim.reference`), the threaded executor
+  closures, and the code templates below.  That is deliberate and is
+  what ``tests/sim/test_differential.py`` exists for: the three engines
+  must produce bit-identical :class:`~repro.sim.cpu.RunResult` stats on
+  every benchmark and on randomized programs.
+
+Generated code uses short closure names bound once per ``Cpu``:
+``R`` registers, ``T`` per-site branch-taken counters, ``BC`` per-block
+entry counters, ``HL`` hi/lo, ``DE`` dynamic-edge dict, ``r8``..``w32``
+memory accessors, ``Halt``/``Err`` the exception types.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import SimulationError
+from repro.sim.cpu import _Halt
+
+__all__ = ["CONTROL_TRANSFERS", "SuperblockTable", "find_leaders"]
+
+#: a superblock never continues past one of these
+CONTROL_TRANSFERS = frozenset((
+    "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+    "j", "jal", "jr", "jalr", "break", "syscall",
+))
+
+_BRANCHES = frozenset(("beq", "bne", "blez", "bgtz", "bltz", "bgez"))
+
+#: memory accessors can raise MemoryFault, so the register file must be
+#: architecturally exact before each of these executes
+_MAY_FAULT = frozenset(("lw", "lb", "lbu", "lh", "lhu", "sw", "sb", "sh"))
+
+_MASK = 0xFFFF_FFFF
+_M = "4294967295"  # 0xFFFF_FFFF as a source literal
+
+
+def _s32(value: int) -> int:
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+# -- register use analysis (for block-local caching) ------------------------
+
+_READS_RS = frozenset((
+    "addiu", "addi", "slti", "sltiu", "andi", "ori", "xori",
+    "lw", "lb", "lbu", "lh", "lhu", "sw", "sb", "sh",
+    "addu", "add", "subu", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+    "sllv", "srlv", "srav", "mult", "multu", "div", "divu", "mthi", "mtlo",
+    "beq", "bne", "blez", "bgtz", "bltz", "bgez", "jr", "jalr",
+))
+_READS_RT = frozenset((
+    "sw", "sb", "sh",
+    "addu", "add", "subu", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+    "sll", "srl", "sra", "sllv", "srlv", "srav",
+    "mult", "multu", "div", "divu", "beq", "bne",
+))
+_WRITES_RT = frozenset((
+    "addiu", "addi", "slti", "sltiu", "andi", "ori", "xori", "lui",
+    "lw", "lb", "lbu", "lh", "lhu",
+))
+_WRITES_RD = frozenset((
+    "addu", "add", "subu", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+    "sll", "srl", "sra", "sllv", "srlv", "srav", "mfhi", "mflo", "jalr",
+))
+
+
+def _read_regs(instr) -> list[int]:
+    """Registers *instr* reads, ``$zero`` excluded (it folds to literal 0)."""
+    m = instr.mnemonic
+    regs = []
+    if m in _READS_RS and instr.rs:
+        regs.append(instr.rs)
+    if m in _READS_RT and instr.rt:
+        regs.append(instr.rt)
+    return regs
+
+
+def _written_reg(instr) -> int:
+    """Register *instr* writes, or 0 for none (writes to $zero are dropped)."""
+    m = instr.mnemonic
+    if m in _WRITES_RT:
+        return instr.rt
+    if m in _WRITES_RD:
+        return instr.rd
+    if m == "jal":
+        return 31
+    return 0
+
+
+class _BlockEnv:
+    """Register-file state during code generation of one block.
+
+    Tracks, per architectural register: whether it is shadowed by a block
+    local, whether its value is a known literal, and whether ``R`` is
+    stale (a deferred write-back is pending).  ``read``/``write`` return
+    and consume source fragments; ``flush`` emits the deferred stores.
+    """
+
+    def __init__(self, cached: set[int]) -> None:
+        self.cached = cached
+        self.known: dict[int, int] = {}  # reg -> literal value when known
+        self.loaded: set[int] = set()    # cached regs live as x{reg} locals
+        self.dirty: set[int] = set()     # cached regs with R[] write-back pending
+        self.pending: list[str] = []     # lazy loads owed before the next stmt
+
+    def read(self, reg: int) -> tuple[str, int | None]:
+        """(source expression, literal value or None) for *reg*'s value."""
+        if reg == 0:
+            return "0", 0
+        value = self.known.get(reg)
+        if value is not None:
+            return str(value), value
+        if reg in self.cached:
+            if reg not in self.loaded:
+                self.pending.append(f"x{reg} = R[{reg}]")
+                self.loaded.add(reg)
+            return f"x{reg}", None
+        return f"R[{reg}]", None
+
+    def write(self, reg: int, expr: str | None, value: int | None = None) -> list[str]:
+        """Statements realizing a write of *expr* (or literal *value*)."""
+        if reg in self.cached:
+            self.dirty.add(reg)
+            if value is not None:
+                self.known[reg] = value
+                self.loaded.discard(reg)  # the literal supersedes the local
+                return []
+            self.known.pop(reg, None)
+            self.loaded.add(reg)
+            return [f"x{reg} = {expr}"]
+        self.known.pop(reg, None)
+        if value is not None:
+            self.known[reg] = value
+            return [f"R[{reg}] = {value}"]
+        return [f"R[{reg}] = {expr}"]
+
+    def take_pending(self) -> list[str]:
+        lines = self.pending
+        self.pending = []
+        return lines
+
+    def flush(self) -> list[str]:
+        """Deferred write-backs, making ``R`` architecturally exact."""
+        lines = []
+        for reg in sorted(self.dirty):
+            value = self.known.get(reg)
+            source = str(value) if value is not None else f"x{reg}"
+            lines.append(f"R[{reg}] = {source}")
+        self.dirty.clear()
+        return lines
+
+
+def find_leaders(decoded, text_base: int, text_len: int, data: bytes) -> set[int]:
+    """Indices that start a superblock.
+
+    The union of: index 0, the successor of every control transfer, every
+    in-text static branch/jump target, and every word-aligned text address
+    found in the data section (jump-table case targets).
+    """
+    leaders: set[int] = {0} if text_len else set()
+    for index in range(text_len):
+        instr = decoded[index]
+        m = instr.mnemonic
+        if m not in CONTROL_TRANSFERS:
+            continue
+        if index + 1 < text_len:
+            leaders.add(index + 1)
+        if m in _BRANCHES:
+            target = index + 1 + instr.imm
+            if 0 <= target < text_len:
+                leaders.add(target)
+        elif m == "j" or m == "jal":
+            pc = text_base + (index << 2)
+            t_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
+            target = (t_pc - text_base) >> 2
+            if 0 <= target < text_len:
+                leaders.add(target)
+    text_end = text_base + (text_len << 2)
+    for offset in range(0, len(data) - 3, 4):
+        word = int.from_bytes(data[offset:offset + 4], "little")
+        if not word & 3 and text_base <= word < text_end:
+            leaders.add((word - text_base) >> 2)
+    return leaders
+
+
+class SuperblockTable:
+    """Block structure + generated block functions for one :class:`Cpu`.
+
+    Public surface used by the dispatch loop:
+
+    * ``entries[index] -> (n, fn | None)`` -- suffix length and generated
+      function for every handler slot (escape slots reuse the threaded
+      escape handlers with length 1); ``fn is None`` marks a mid-block
+      index nobody has jumped to yet.
+    * :meth:`materialize` -- build the suffix block for such an index.
+    * :meth:`reset` / :meth:`fold_into` -- zero the per-block counters at
+      run start / fold their deltas into the per-instruction array.
+    * :attr:`blocks` -- the leader partition, for introspection and the
+      formation property tests.
+    """
+
+    def __init__(self, cpu) -> None:
+        self._cpu = cpu
+        self._decoded = cpu._decoded
+        self._text_base = cpu.exe.text_base
+        self._text_len = len(cpu._decoded)
+        self._profile = cpu.profile
+        self.leaders = find_leaders(
+            self._decoded, self._text_base, self._text_len, cpu.exe.data
+        )
+
+        # suffix_len[i]: instructions from i to the end of i's block
+        decoded = self._decoded
+        leaders = self.leaders
+        suffix = [1] * self._text_len
+        for i in range(self._text_len - 2, -1, -1):
+            if decoded[i].mnemonic in CONTROL_TRANSFERS or (i + 1) in leaders:
+                suffix[i] = 1
+            else:
+                suffix[i] = suffix[i + 1] + 1
+        self.suffix_len = suffix
+
+        #: per-block entry counters / fold watermarks / (start, length)
+        self.bcounts: list[int] = []
+        self._folded: list[int] = []
+        self.members: list[tuple[int, int]] = []
+
+        handlers = cpu._handlers
+        entries: list[tuple] = [(1, handlers[slot]) for slot in range(len(handlers))]
+        for i in range(self._text_len):
+            entries[i] = (suffix[i], None)
+        self.entries = entries
+        #: function-only view of ``entries`` for the budget-free dispatch
+        #: spree (escape slots resolve to the raising threaded handlers),
+        #: and the bound the spree sizing relies on
+        self.fns: list = [entry[1] for entry in entries]
+        self.max_block_len = max(suffix, default=1)
+
+        memory = cpu.memory
+        self._ns = {
+            "R": cpu.regs,
+            "T": cpu._taken,
+            "BC": self.bcounts,
+            "HL": cpu._hilo,
+            "DE": cpu._dyn_edges,
+            "r8": memory.read_u8,
+            "r16": memory.read_u16,
+            "r32": memory.read_u32,
+            "w8": memory.write_u8,
+            "w16": memory.write_u16,
+            "w32": memory.write_u32,
+            "Halt": _Halt,
+            "Err": SimulationError,
+        }
+        self._build_leader_blocks()
+
+    # -- public surface ----------------------------------------------------
+
+    @property
+    def blocks(self) -> list[tuple[int, int]]:
+        """The leader partition as (start index, length), sorted."""
+        return [(leader, self.suffix_len[leader]) for leader in sorted(self.leaders)]
+
+    def reset(self) -> None:
+        bcounts = self.bcounts
+        folded = self._folded
+        for i in range(len(bcounts)):
+            bcounts[i] = 0
+            folded[i] = 0
+
+    def fold_into(self, counts: list[int]) -> None:
+        """Fold per-block entry deltas into the per-instruction counters."""
+        bcounts = self.bcounts
+        folded = self._folded
+        members = self.members
+        for bid in range(len(bcounts)):
+            delta = bcounts[bid] - folded[bid]
+            if delta:
+                folded[bid] = bcounts[bid]
+                start, length = members[bid]
+                for i in range(start, start + length):
+                    counts[i] += delta
+
+    def materialize(self, index: int) -> tuple:
+        """Generate the suffix block for a dynamic jump to mid-block *index*."""
+        bid = self._new_bid(index, self.suffix_len[index])
+        source = "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):\n"
+        source += "\n".join(self._emit_function("_b", index, bid, "    ")) + "\n"
+        source += "    return _b\n"
+        namespace: dict = {}
+        exec(compile(source, f"<superblock@{index}>", "exec"), namespace)
+        entry = (self.suffix_len[index], namespace["_factory"](**self._ns))
+        self.entries[index] = entry
+        self.fns[index] = entry[1]
+        return entry
+
+    # -- construction ------------------------------------------------------
+
+    def _new_bid(self, start: int, length: int) -> int:
+        bid = len(self.members)
+        self.members.append((start, length))
+        self.bcounts.append(0)
+        self._folded.append(0)
+        return bid
+
+    def _build_leader_blocks(self) -> None:
+        """Generate one module containing a function per leader block."""
+        lines = [
+            "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):",
+            "    fns = {}",
+        ]
+        starts = sorted(self.leaders)
+        for start in starts:
+            bid = self._new_bid(start, self.suffix_len[start])
+            lines.extend(self._emit_function(f"_b{start}", start, bid, "    "))
+            lines.append(f"    fns[{start}] = _b{start}")
+        lines.append("    return fns")
+        source = "\n".join(lines) + "\n"
+        namespace: dict = {}
+        exec(compile(source, "<superblocks>", "exec"), namespace)
+        fns = namespace["_factory"](**self._ns)
+        for start, fn in fns.items():
+            self.entries[start] = (self.suffix_len[start], fn)
+            self.fns[start] = fn
+
+    # -- code generation ---------------------------------------------------
+
+    def _emit_function(self, name: str, start: int, bid: int, indent: str) -> list[str]:
+        length = self.suffix_len[start]
+        sequence = self._decoded[start:start + length]
+
+        # cache a register in a block local when the block touches it more
+        # than once; single-touch registers go straight to R (same cost)
+        touches: Counter = Counter()
+        for instr in sequence:
+            for reg in _read_regs(instr):
+                touches[reg] += 1
+            target = _written_reg(instr)
+            if target:
+                touches[target] += 1
+        env = _BlockEnv({reg for reg, n in touches.items() if n >= 2})
+
+        lines = [f"{indent}def {name}():", f"{indent}    BC[{bid}] += 1"]
+        body = indent + "    "
+        for offset, instr in enumerate(sequence):
+            m = instr.mnemonic
+            if m in CONTROL_TRANSFERS:
+                stmts = self._emit_terminator(instr, start + offset, env)
+            else:
+                # flush *before* emitting a faulting instruction, so the
+                # write-backs cover only the instructions already executed
+                # (this instruction's own write must not be flushed yet)
+                flush = env.flush() if m in _MAY_FAULT else []
+                emitted = self._emit_straightline(instr, env)
+                stmts = env.take_pending() + flush + emitted
+            lines.extend(body + stmt for stmt in stmts)
+        if sequence[-1].mnemonic not in CONTROL_TRANSFERS:
+            lines.extend(body + stmt for stmt in env.flush())
+            lines.append(f"{body}return {start + length}")
+        return lines
+
+    def _addr(self, env: _BlockEnv, rs: int, imm: int) -> str:
+        """Effective-address expression ``(R[rs] + imm) & M``, folded."""
+        base, value = env.read(rs)
+        if value is not None:
+            return str((value + imm) & _MASK)
+        if imm == 0:
+            return base
+        return f"({base} + {imm}) & {_M}"
+
+    def _emit_straightline(self, instr, env: _BlockEnv) -> list[str]:
+        """Statements for one non-control-transfer instruction.
+
+        Mirrors the threaded executor closures exactly, including the
+        "writes to $zero are dropped but their memory reads still happen"
+        rule.  Returns relative-indented source lines; lazy register
+        loads accumulate in ``env.pending``.
+        """
+        m = instr.mnemonic
+        rs, rt, rd = instr.rs, instr.rt, instr.rd
+        shamt, imm = instr.shamt, instr.imm
+
+        if m == "addiu" or m == "addi":
+            if not rt:
+                return []
+            a, av = env.read(rs)
+            if av is not None:
+                return env.write(rt, None, (av + imm) & _MASK)
+            if imm == 0:
+                return env.write(rt, a)
+            return env.write(rt, f"({a} + {imm}) & {_M}")
+        if m == "lw":
+            address = self._addr(env, rs, imm)
+            if rt:
+                return env.write(rt, f"r32({address})")
+            return [f"r32({address})"]
+        if m == "sw":
+            address = self._addr(env, rs, imm)
+            return [f"w32({address}, {env.read(rt)[0]})"]
+        if m in ("addu", "add", "subu", "sub", "and", "or", "xor", "nor",
+                 "slt", "sltu"):
+            if not rd:
+                return []
+            a, av = env.read(rs)
+            b, bv = env.read(rt)
+            both = av is not None and bv is not None
+            if m == "addu" or m == "add":
+                if both:
+                    return env.write(rd, None, (av + bv) & _MASK)
+                if av == 0:
+                    return env.write(rd, b, bv)
+                if bv == 0:
+                    return env.write(rd, a, av)
+                return env.write(rd, f"({a} + {b}) & {_M}")
+            if m == "subu" or m == "sub":
+                if both:
+                    return env.write(rd, None, (av - bv) & _MASK)
+                if bv == 0:
+                    return env.write(rd, a, av)
+                return env.write(rd, f"({a} - {b}) & {_M}")
+            if m == "and":
+                if both:
+                    return env.write(rd, None, av & bv)
+                if av == 0 or bv == 0:
+                    return env.write(rd, None, 0)
+                return env.write(rd, f"{a} & {b}")
+            if m == "or":
+                if both:
+                    return env.write(rd, None, av | bv)
+                if av == 0:
+                    return env.write(rd, b, bv)
+                if bv == 0:
+                    return env.write(rd, a, av)
+                return env.write(rd, f"{a} | {b}")
+            if m == "xor":
+                if both:
+                    return env.write(rd, None, av ^ bv)
+                if av == 0:
+                    return env.write(rd, b, bv)
+                if bv == 0:
+                    return env.write(rd, a, av)
+                return env.write(rd, f"{a} ^ {b}")
+            if m == "nor":
+                if both:
+                    return env.write(rd, None, ~(av | bv) & _MASK)
+                if av == 0:
+                    return env.write(rd, f"~{b} & {_M}")
+                if bv == 0:
+                    return env.write(rd, f"~{a} & {_M}")
+                return env.write(rd, f"~({a} | {b}) & {_M}")
+            if m == "slt":
+                if both:
+                    return env.write(rd, None, int(_s32(av) < _s32(bv)))
+                if bv == 0:
+                    # signed(a) < 0  <=>  sign bit set
+                    return env.write(rd, f"1 if {a} & 0x80000000 else 0")
+                if av == 0:
+                    # 0 < signed(b)  <=>  b in (0, 2^31)
+                    return env.write(rd, f"1 if 0 < {b} < 0x80000000 else 0")
+                return [
+                    f"_a = {a}",
+                    "if _a & 0x80000000:",
+                    "    _a -= 0x100000000",
+                    f"_b = {b}",
+                    "if _b & 0x80000000:",
+                    "    _b -= 0x100000000",
+                ] + env.write(rd, "1 if _a < _b else 0")
+            # sltu
+            if both:
+                return env.write(rd, None, int(av < bv))
+            if bv == 0:
+                return env.write(rd, None, 0)
+            if av == 0:
+                return env.write(rd, f"1 if {b} else 0")
+            return env.write(rd, f"1 if {a} < {b} else 0")
+        if m in ("sll", "srl", "sra", "sllv", "srlv", "srav"):
+            if not rd:
+                return []  # includes the canonical nop
+            b, bv = env.read(rt)
+            if m in ("sll", "srl", "sra"):
+                if shamt == 0:
+                    return env.write(rd, b, bv)
+                if m == "sll":
+                    if bv is not None:
+                        return env.write(rd, None, (bv << shamt) & _MASK)
+                    return env.write(rd, f"({b} << {shamt}) & {_M}")
+                if m == "srl":
+                    if bv is not None:
+                        return env.write(rd, None, bv >> shamt)
+                    return env.write(rd, f"{b} >> {shamt}")
+                # sra
+                if bv is not None:
+                    return env.write(rd, None, (_s32(bv) >> shamt) & _MASK)
+                return [
+                    f"_v = {b}",
+                    "if _v & 0x80000000:",
+                    "    _v -= 0x100000000",
+                ] + env.write(rd, f"(_v >> {shamt}) & {_M}")
+            a, av = env.read(rs)
+            if m == "sllv":
+                if av is not None and bv is not None:
+                    return env.write(rd, None, (bv << (av & 31)) & _MASK)
+                return env.write(rd, f"({b} << ({a} & 31)) & {_M}")
+            if m == "srlv":
+                if av is not None and bv is not None:
+                    return env.write(rd, None, bv >> (av & 31))
+                return env.write(rd, f"{b} >> ({a} & 31)")
+            # srav
+            if av is not None and bv is not None:
+                return env.write(rd, None, (_s32(bv) >> (av & 31)) & _MASK)
+            return [
+                f"_v = {b}",
+                "if _v & 0x80000000:",
+                "    _v -= 0x100000000",
+            ] + env.write(rd, f"(_v >> ({a} & 31)) & {_M}")
+        if m in ("slti", "sltiu", "andi", "ori", "xori", "lui"):
+            if not rt:
+                return []
+            if m == "lui":
+                return env.write(rt, None, (imm << 16) & _MASK)
+            a, av = env.read(rs)
+            if m == "slti":
+                if av is not None:
+                    return env.write(rt, None, int(_s32(av) < imm))
+                return [
+                    f"_a = {a}",
+                    "if _a & 0x80000000:",
+                    "    _a -= 0x100000000",
+                ] + env.write(rt, f"1 if _a < {imm} else 0")
+            if m == "sltiu":
+                if av is not None:
+                    return env.write(rt, None, int(av < (imm & _MASK)))
+                return env.write(rt, f"1 if {a} < {imm & _MASK} else 0")
+            if m == "andi":
+                if av is not None:
+                    return env.write(rt, None, av & imm)
+                return env.write(rt, f"{a} & {imm}")
+            if m == "ori":
+                if av is not None:
+                    return env.write(rt, None, av | imm)
+                return env.write(rt, f"{a} | {imm}")
+            # xori
+            if av is not None:
+                return env.write(rt, None, av ^ imm)
+            return env.write(rt, f"{a} ^ {imm}")
+        if m in ("lb", "lbu", "lh", "lhu"):
+            reader = "r8" if m in ("lb", "lbu") else "r16"
+            address = self._addr(env, rs, imm)
+            if not rt:
+                return [f"{reader}({address})"]
+            if m == "lb":
+                return [f"_v = r8({address})"] + env.write(
+                    rt, f"(_v - 0x100 if _v & 0x80 else _v) & {_M}"
+                )
+            if m == "lbu":
+                return env.write(rt, f"r8({address})")
+            if m == "lh":
+                return [f"_v = r16({address})"] + env.write(
+                    rt, f"(_v - 0x10000 if _v & 0x8000 else _v) & {_M}"
+                )
+            return env.write(rt, f"r16({address})")  # lhu
+        if m == "sb":
+            return [f"w8({self._addr(env, rs, imm)}, {env.read(rt)[0]})"]
+        if m == "sh":
+            return [f"w16({self._addr(env, rs, imm)}, {env.read(rt)[0]})"]
+        if m == "mult":
+            return [
+                f"_a = {env.read(rs)[0]}",
+                "if _a & 0x80000000:",
+                "    _a -= 0x100000000",
+                f"_b = {env.read(rt)[0]}",
+                "if _b & 0x80000000:",
+                "    _b -= 0x100000000",
+                "_p = (_a * _b) & 0xFFFFFFFFFFFFFFFF",
+                f"HL[0] = (_p >> 32) & {_M}",
+                f"HL[1] = _p & {_M}",
+            ]
+        if m == "multu":
+            return [
+                f"_p = {env.read(rs)[0]} * {env.read(rt)[0]}",
+                f"HL[0] = (_p >> 32) & {_M}",
+                f"HL[1] = _p & {_M}",
+            ]
+        if m == "div":
+            return [
+                f"_a = {env.read(rs)[0]}",
+                "if _a & 0x80000000:",
+                "    _a -= 0x100000000",
+                f"_b = {env.read(rt)[0]}",
+                "if _b & 0x80000000:",
+                "    _b -= 0x100000000",
+                "if _b == 0:",
+                # MIPS leaves HI/LO undefined; match the other engines
+                f"    HL[0] = _a & {_M}",
+                f"    HL[1] = {_M}",
+                "else:",
+                "    _q = int(_a / _b)",  # C-style truncation toward zero
+                f"    HL[0] = (_a - _q * _b) & {_M}",
+                f"    HL[1] = _q & {_M}",
+            ]
+        if m == "divu":
+            return [
+                f"_a = {env.read(rs)[0]}",
+                f"_b = {env.read(rt)[0]}",
+                "if _b == 0:",
+                "    HL[0] = _a",
+                f"    HL[1] = {_M}",
+                "else:",
+                "    HL[0] = _a % _b",
+                "    HL[1] = _a // _b",
+            ]
+        if m == "mfhi":
+            return env.write(rd, "HL[0]") if rd else []
+        if m == "mflo":
+            return env.write(rd, "HL[1]") if rd else []
+        if m == "mthi":
+            return [f"HL[0] = {env.read(rs)[0]}"]
+        if m == "mtlo":
+            return [f"HL[1] = {env.read(rs)[0]}"]
+        raise SimulationError(f"unimplemented mnemonic {m}")  # pragma: no cover
+
+    def _emit_terminator(self, instr, idx: int, env: _BlockEnv) -> list[str]:
+        """Statements for a control transfer; every path ends in return/raise.
+
+        Terminators flush the deferred register write-backs themselves:
+        branches and jumps before their condition/return, ``jr``/``jalr``
+        after the link write but before the target check (whose failure
+        aborts the run exactly like the threaded engine, registers fully
+        written), ``break``/``syscall`` before raising.
+        """
+        m = instr.mnemonic
+        pc = self._text_base + (idx << 2)
+        nxt = idx + 1
+
+        if m in _BRANCHES:
+            t_pc = pc + 4 + (instr.imm << 2)
+            t_idx = (t_pc - self._text_base) >> 2
+            if not 0 <= t_idx < self._text_len:
+                # same escape slot the threaded table uses: executing it
+                # raises, and if the step budget runs out first the caller
+                # sees the same "exceeded max_steps" the threaded loop does
+                t_idx = self._cpu._escape_slots[t_pc]
+            a, av = env.read(instr.rs)
+            prelude: list[str] = []
+            if m == "beq" or m == "bne":
+                b, bv = env.read(instr.rt)
+                if av is not None and bv is not None:
+                    taken = av == bv if m == "beq" else av != bv
+                    cond = "if True:" if taken else "if False:"
+                else:
+                    cond = f"if {a} == {b}:" if m == "beq" else f"if {a} != {b}:"
+            elif av is not None:
+                signed = _s32(av)
+                taken = {
+                    "blez": signed <= 0, "bgtz": signed > 0,
+                    "bltz": signed < 0, "bgez": signed >= 0,
+                }[m]
+                cond = "if True:" if taken else "if False:"
+            elif m == "blez":
+                prelude = [f"_v = {a}"]
+                cond = "if _v == 0 or _v & 0x80000000:"
+            elif m == "bgtz":
+                prelude = [f"_v = {a}"]
+                cond = "if _v != 0 and not _v & 0x80000000:"
+            elif m == "bltz":
+                cond = f"if {a} & 0x80000000:"
+            else:  # bgez
+                cond = f"if not {a} & 0x80000000:"
+            return env.take_pending() + env.flush() + prelude + [
+                cond,
+                f"    T[{idx}] += 1",
+                f"    return {t_idx}",
+                f"return {nxt}",
+            ]
+
+        if m == "j" or m == "jal":
+            t_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
+            t_idx = (t_pc - self._text_base) >> 2
+            if not 0 <= t_idx < self._text_len:
+                t_idx = self._cpu._escape_slots[t_pc]
+            lines = []
+            if m == "jal":
+                lines.extend(env.write(31, None, pc + 4))
+            return lines + env.flush() + [f"return {t_idx}"]
+
+        if m == "jr" or m == "jalr":
+            lines = []
+            if m == "jalr" and instr.rd:
+                # link is written before the target register is read, so
+                # `jalr $t0, $t0` jumps to the link address -- exactly what
+                # the threaded closure and the reference interpreter do
+                lines.extend(env.write(instr.rd, None, pc + 4))
+            target, _ = env.read(instr.rs)
+            lines = env.take_pending() + lines + [f"_t = {target}"] + env.flush() + [
+                f"_i = (_t - {self._text_base}) >> 2",
+                f"if _t & 3 or not 0 <= _i < {self._text_len}:",
+                '    raise Err("pc outside text section: 0x%08x" % _t)',
+            ]
+            if self._profile:
+                lines += [
+                    f"_k = ({pc}, _t)",
+                    "DE[_k] = DE.get(_k, 0) + 1",
+                ]
+            lines.append("return _i")
+            return lines
+
+        if m == "break":
+            return env.flush() + [f"raise Halt({idx})"]
+        if m == "syscall":
+            message = f"syscall executed at 0x{pc:08x}; benchmarks are I/O-free"
+            return env.flush() + [f"raise Err({message!r})"]
+        raise SimulationError(f"unimplemented mnemonic {m}")  # pragma: no cover

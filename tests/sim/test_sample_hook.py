@@ -1,7 +1,17 @@
-"""The periodic sampling hook must not perturb simulation semantics."""
+"""The periodic sampling hook must not perturb simulation semantics.
+
+Every test runs on both dispatch engines, because the online-partitioning
+subsystem (:mod:`repro.dynamic`) piggybacks on this hook: callbacks must
+fire at exactly the same instruction counts whether the dispatch loop
+pays one call per instruction (threaded) or one per basic block
+(superblock, which single-steps chunk tails to hit the boundary
+mid-block).  The cross-engine class at the bottom pins the two traces
+against each other sample by sample.
+"""
+
+import pytest
 
 from repro.compiler import compile_source
-from repro.sim import run_executable
 from repro.sim.cpu import Cpu
 
 _SOURCE = """
@@ -16,15 +26,22 @@ int main(void) {
 }
 """
 
+ENGINES = ["threaded", "superblock"]
+
 
 def _exe():
     return compile_source(_SOURCE, opt_level=1)
 
 
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
+
 class TestSampleHook:
-    def test_callback_cadence_and_flush(self):
+    def test_callback_cadence_and_flush(self, engine):
         exe = _exe()
-        cpu = Cpu(exe, profile=True)
+        cpu = Cpu(exe, profile=True, engine=engine)
         calls = []
         interval = 1000
 
@@ -41,11 +58,11 @@ class TestSampleHook:
         for position, total in enumerate(calls[:-1], start=1):
             assert total == position * interval
 
-    def test_results_identical_with_and_without_hook(self):
+    def test_results_identical_with_and_without_hook(self, engine):
         exe = _exe()
-        plain_cpu = Cpu(exe, profile=True)
+        plain_cpu = Cpu(exe, profile=True, engine=engine)
         plain = plain_cpu.run()
-        hooked_cpu = Cpu(exe, profile=True)
+        hooked_cpu = Cpu(exe, profile=True, engine=engine)
         hooked = hooked_cpu.run(sample_interval=777, on_sample=lambda c, t: None)
         assert plain.steps == hooked.steps
         assert plain.cycles == hooked.cycles
@@ -55,17 +72,17 @@ class TestSampleHook:
         assert plain_cpu.read_word_global_signed("checksum") == \
             hooked_cpu.read_word_global_signed("checksum")
 
-    def test_zero_interval_means_no_callback(self):
+    def test_zero_interval_means_no_callback(self, engine):
         exe = _exe()
-        cpu = Cpu(exe)
+        cpu = Cpu(exe, engine=engine)
         calls = []
         cpu.run(sample_interval=0, on_sample=lambda c, t: calls.append(1))
         assert calls == []
 
-    def test_deltas_reconstruct_run(self):
+    def test_deltas_reconstruct_run(self, engine):
         """Interval deltas of the live arrays must sum to the final stats."""
         exe = _exe()
-        cpu = Cpu(exe, profile=True)
+        cpu = Cpu(exe, profile=True, engine=engine)
         text_len = len(exe.text_words)
         prev = [0] * text_len
         interval_steps = []
@@ -80,9 +97,9 @@ class TestSampleHook:
         result = cpu.run(sample_interval=2048, on_sample=on_sample)
         assert sum(interval_steps) == result.steps
 
-    def test_static_edge_maps_exposed(self):
+    def test_static_edge_maps_exposed(self, engine):
         exe = _exe()
-        cpu = Cpu(exe, profile=True)
+        cpu = Cpu(exe, profile=True, engine=engine)
         assert cpu.site_costs and len(cpu.site_costs) == len(exe.text_words)
         # the nested loops guarantee at least one backward control edge
         # (the compiler emits loop back-edges as branches or jumps)
@@ -90,3 +107,57 @@ class TestSampleHook:
         assert any(dst <= src for src, dst in edges)
         for index, (src, dst) in {**cpu.branch_edges, **cpu.jump_edges}.items():
             assert src == exe.text_base + 4 * index
+
+
+class TestCrossEngineSampling:
+    """The superblock engine must sample exactly like the threaded one.
+
+    This is the contract ``repro.dynamic`` depends on: its profiler and
+    accounting read the live counter arrays at every boundary, so any
+    drift in *when* callbacks fire or *what* the counters hold at that
+    moment would silently skew the online partitioner.
+    """
+
+    #: intervals chosen to land chunk boundaries mid-block: 1 forces a
+    #: single-stepped tail on every chunk, 7/97 are coprime to typical
+    #: block lengths, 1000 mixes whole blocks and tails
+    INTERVALS = [1, 7, 97, 1000]
+
+    @staticmethod
+    def _trace(engine, interval):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True, engine=engine)
+        trace = []
+
+        def on_sample(counts, taken):
+            trace.append((tuple(counts), tuple(taken)))
+
+        result = cpu.run(sample_interval=interval, on_sample=on_sample)
+        return trace, result
+
+    @pytest.mark.parametrize("interval", INTERVALS)
+    def test_samples_fire_at_identical_instruction_counts(self, interval):
+        threaded_trace, threaded_result = self._trace("threaded", interval)
+        superblock_trace, superblock_result = self._trace("superblock", interval)
+        assert threaded_result.steps == superblock_result.steps
+        assert len(threaded_trace) == len(superblock_trace)
+        for position, (expected, got) in enumerate(
+            zip(threaded_trace, superblock_trace)
+        ):
+            assert expected == got, (
+                f"interval {interval}: sample {position} diverged"
+            )
+
+    def test_mid_block_boundary_counts_are_partial(self):
+        """A boundary inside a block must show the partial prefix, not a
+        whole-block-at-once count jump."""
+        exe = _exe()
+        cpu = Cpu(exe, profile=True, engine="superblock")
+        longest = max(length for _, length in cpu.superblocks)
+        assert longest > 1, "test program must contain a multi-instruction block"
+        totals = []
+        cpu.run(sample_interval=1, on_sample=lambda c, t: totals.append(sum(c)))
+        # with interval 1, consecutive samples differ by exactly one
+        # executed instruction even while crossing multi-instruction blocks
+        deltas = {b - a for a, b in zip(totals, totals[1:])}
+        assert deltas <= {0, 1}
