@@ -79,6 +79,18 @@ def time_sweep(max_workers: int | None) -> float:
     return round(time.perf_counter() - start, 3)
 
 
+def time_dynamic_sweep(max_workers: int | None) -> float:
+    """Whole-suite *dynamic* (online-partitioning) sweep; uncached by
+    nature, so serial-vs-parallel measures pure computation."""
+    from repro.dynamic.flow import DynamicFlowJob, run_dynamic_flows
+
+    jobs = [DynamicFlowJob(source=bench.source, name=bench.name)
+            for bench in ALL_BENCHMARKS]
+    start = time.perf_counter()
+    run_dynamic_flows(jobs, max_workers=max_workers)
+    return round(time.perf_counter() - start, 3)
+
+
 def run_smoke() -> int:
     """Fast engine-vs-engine regression gate for CI; returns an exit code."""
     failures = []
@@ -136,6 +148,11 @@ def main() -> None:
     parallel = time_sweep(max_workers=None)
     workers = os.cpu_count() or 1
     print(f"sweep    {parallel:7.2f}s parallel ({workers} workers)")
+    dyn_serial = time_dynamic_sweep(max_workers=1)
+    print(f"dynamic  {dyn_serial:7.2f}s serial "
+          f"({len(ALL_BENCHMARKS)} online-partitioning runs)")
+    dyn_parallel = time_dynamic_sweep(max_workers=None)
+    print(f"dynamic  {dyn_parallel:7.2f}s parallel ({workers} workers)")
 
     payload = {
         "benchmark": "sim_throughput",
@@ -146,6 +163,12 @@ def main() -> None:
             "benchmarks": len(ALL_BENCHMARKS),
             "serial_seconds": serial,
             "parallel_seconds": parallel,
+            "parallel_workers": workers,
+        },
+        "dynamic_sweep": {
+            "benchmarks": len(ALL_BENCHMARKS),
+            "serial_seconds": dyn_serial,
+            "parallel_seconds": dyn_parallel,
             "parallel_workers": workers,
         },
     }

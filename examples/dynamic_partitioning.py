@@ -80,6 +80,44 @@ def main() -> None:
           "kernel is evicted\nonce its loop cools down and the histogram "
           "kernel takes its fabric.")
 
+    # -- the deployment-story variants ----------------------------------
+
+    # 1. a CAD co-processor: decisions cost nothing, kernels arrive two
+    #    sampling intervals later, only the reconfiguration stall is billed
+    warp = run_dynamic_flow(
+        SOURCE, "phased", opt_level=1, platform=MIPS_200MHZ,
+        config=DynamicConfig(sample_interval=4_000, concurrent_cad=True,
+                             cad_latency_samples=2),
+    )
+    billed = sum(iv.overhead_cycles for iv in warp.timeline.intervals)
+    cad = sum(ev.cad_cycles for ev in warp.timeline.events)
+    print(f"\nconcurrent CAD: {billed:,} cycles billed to the application; "
+          f"{cad:,} CAD cycles ran\non the co-processor for free "
+          f"(whole-run speedup {warp.dynamic_speedup:.2f}x)")
+
+    # 2. partial reconfiguration: the fabric split into 8 regions, kernels
+    #    occupy whole regions, reconfig charged per changed region
+    regioned = run_dynamic_flow(
+        SOURCE, "phased", opt_level=1,
+        platform=MIPS_200MHZ.with_regions(8), config=config,
+    )
+    changed = sum(ev.regions_changed for ev in regioned.timeline.events)
+    print(f"partial reconfig: {changed} region rewrites across "
+          f"{len(regioned.timeline.events)} events")
+
+    # 3. two applications time-sharing one fabric (each on its own core),
+    #    capped at 60% of the fabric each
+    from repro.dynamic import AppSpec, run_multi_app_flow
+    shared = run_multi_app_flow(
+        [AppSpec(SOURCE, "phased"), AppSpec(SOURCE, "phased-2")],
+        platform=MIPS_200MHZ,
+        config=DynamicConfig(sample_interval=4_000, max_fabric_share=0.6),
+    )
+    print("two apps, one fabric: peak use "
+          f"{shared.peak_area_gates:,.0f} gates; "
+          + "; ".join(f"{r.name} warm {r.warm_speedup:.2f}x"
+                      for r in shared.reports))
+
 
 if __name__ == "__main__":
     main()

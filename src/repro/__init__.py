@@ -52,7 +52,7 @@ from repro.platform.platform import (
 from repro.sim.cpu import run_executable
 from repro.synth.synthesizer import SynthesisOptions, Synthesizer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompilerOptions",

@@ -164,50 +164,95 @@ NAMED_PLATFORMS: dict[str, Platform] = {
 }
 
 
-def cmd_dynamic(args) -> int:
+def _dynamic_config(args):
     from repro.dynamic.controller import DynamicConfig
-    from repro.dynamic.flow import run_dynamic_flow
+
+    return DynamicConfig(
+        sample_interval=args.interval,
+        repartition_samples=args.repartition_samples,
+        concurrent_cad=args.concurrent_cad,
+        cad_latency_samples=args.cad_latency,
+        max_fabric_share=args.max_share,
+        adaptive_sampling=args.adaptive,
+    )
+
+
+def _dynamic_platforms(args):
+    platforms = [NAMED_PLATFORMS[name] for name in args.platform]
+    if args.regions:
+        platforms = [platform.with_regions(args.regions) for platform in platforms]
+    return platforms
+
+
+def _print_dynamic_rows(rows):
+    header = (f"  {'benchmark':10s} {'static':>7s} {'dynamic':>8s} "
+              f"{'warm':>7s} {'gap %':>6s} {'energy %':>9s} "
+              f"{'kernels':>7s} {'events':>6s}")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for report in rows:
+        print(f"  {report.name:10s} {report.static_speedup:7.2f} "
+              f"{report.dynamic_speedup:8.2f} {report.warm_speedup:7.2f} "
+              f"{100 * report.warm_gap:6.1f} {100 * report.energy_savings:9.1f} "
+              f"{len(report.timeline.final_resident):7d} "
+              f"{len(report.timeline.events):6d}")
+    ok = [r for r in rows if r.recovered]
+    if ok:
+        print(f"  {'AVERAGE':10s} "
+              f"{sum(r.static_speedup for r in ok) / len(ok):7.2f} "
+              f"{sum(r.dynamic_speedup for r in ok) / len(ok):8.2f} "
+              f"{sum(r.warm_speedup for r in ok) / len(ok):7.2f} "
+              f"{100 * sum(r.warm_gap for r in ok) / len(ok):6.1f} "
+              f"{100 * sum(r.energy_savings for r in ok) / len(ok):9.1f}")
+
+
+def cmd_dynamic(args) -> int:
+    from repro.dynamic.flow import DynamicFlowJob, run_dynamic_flows
+    from repro.dynamic.multi import AppSpec, MultiAppJob, run_multi_app_flows
     from repro.programs import ALL_BENCHMARKS, get_benchmark
+
+    config = _dynamic_config(args)
+    platforms = _dynamic_platforms(args)
+    max_workers = 1 if args.serial else args.jobs
+    scenario = (f"-O{args.opt_level}, sample every {config.sample_interval} "
+                f"instrs, CAD {'concurrent' if config.concurrent_cad else 'inline'}"
+                + (f", {args.regions} PR regions" if args.regions else ""))
+
+    if args.apps:
+        # multi-application mode: the named benchmarks time-share one fabric
+        specs = tuple(
+            AppSpec(get_benchmark(name).source, name, opt_level=args.opt_level)
+            for name in args.apps
+        )
+        jobs = [MultiAppJob(apps=specs, platform=platform, config=config)
+                for platform in platforms]
+        results = run_multi_app_flows(jobs, max_workers=max_workers)
+        for platform, result in zip(platforms, results):
+            print(f"===== {platform.name} ({scenario}; "
+                  f"{len(specs)} apps sharing one fabric) =====")
+            _print_dynamic_rows(result.reports)
+            print(f"  peak fabric use: {result.peak_area_gates:,.0f} gates"
+                  + (f", {result.peak_regions} regions" if args.regions else ""))
+        return 0
 
     if args.benchmarks:
         benches = [get_benchmark(name) for name in args.benchmarks]
     else:
         benches = list(ALL_BENCHMARKS)
-    platforms = [NAMED_PLATFORMS[name] for name in args.platform]
-    config = DynamicConfig(
-        sample_interval=args.interval,
-        repartition_samples=args.repartition_samples,
-    )
+    jobs = [
+        DynamicFlowJob(source=bench.source, name=bench.name,
+                       opt_level=args.opt_level, platform=platform,
+                       config=config)
+        for platform in platforms
+        for bench in benches
+    ]
+    reports = run_dynamic_flows(jobs, max_workers=max_workers)
     worst_gap = 0.0
     for platform in platforms:
-        print(f"===== {platform.name} (-O{args.opt_level}, "
-              f"sample every {config.sample_interval} instrs) =====")
-        header = (f"  {'benchmark':10s} {'static':>7s} {'dynamic':>8s} "
-                  f"{'warm':>7s} {'gap %':>6s} {'energy %':>9s} "
-                  f"{'kernels':>7s} {'events':>6s}")
-        print(header)
-        print("  " + "-" * (len(header) - 2))
-        rows = []
-        for bench in benches:
-            report = run_dynamic_flow(
-                bench.source, bench.name, opt_level=args.opt_level,
-                platform=platform, config=config,
-            )
-            rows.append(report)
-            worst_gap = max(worst_gap, report.warm_gap)
-            print(f"  {report.name:10s} {report.static_speedup:7.2f} "
-                  f"{report.dynamic_speedup:8.2f} {report.warm_speedup:7.2f} "
-                  f"{100 * report.warm_gap:6.1f} {100 * report.energy_savings:9.1f} "
-                  f"{len(report.timeline.final_resident):7d} "
-                  f"{len(report.timeline.events):6d}")
-        ok = [r for r in rows if r.recovered]
-        if ok:
-            print(f"  {'AVERAGE':10s} "
-                  f"{sum(r.static_speedup for r in ok) / len(ok):7.2f} "
-                  f"{sum(r.dynamic_speedup for r in ok) / len(ok):8.2f} "
-                  f"{sum(r.warm_speedup for r in ok) / len(ok):7.2f} "
-                  f"{100 * sum(r.warm_gap for r in ok) / len(ok):6.1f} "
-                  f"{100 * sum(r.energy_savings for r in ok) / len(ok):9.1f}")
+        chunk, reports = reports[: len(benches)], reports[len(benches):]
+        print(f"===== {platform.name} ({scenario}) =====")
+        _print_dynamic_rows(chunk)
+        worst_gap = max([worst_gap] + [r.warm_gap for r in chunk])
     print(f"worst warm gap vs static partition: {100 * worst_gap:.1f}%")
     return 0
 
@@ -332,6 +377,31 @@ def main(argv=None) -> int:
                    help="instructions between profiler samples")
     p.add_argument("--repartition-samples", type=int, default=2,
                    help="profiler samples between re-partition decisions")
+    p.add_argument("--concurrent-cad", action="store_true",
+                   help="model a CAD co-processor: lift results arrive "
+                        "--cad-latency samples after the decision and CAD "
+                        "cycles are never billed to application time")
+    p.add_argument("--cad-latency", type=int, default=2,
+                   help="sampling intervals between a re-partition decision "
+                        "and its kernels arriving (with --concurrent-cad)")
+    p.add_argument("--regions", type=int, default=0,
+                   help="split the fabric into N partial-reconfiguration "
+                        "regions; reconfiguration is charged per changed "
+                        "region instead of per kernel (0 = monolithic)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="phase-adaptive sampling: coarsen the sample "
+                        "interval once placement is stable")
+    p.add_argument("--max-share", type=float, default=1.0,
+                   help="cap on one application's share of the fabric "
+                        "(multi-application arbitration, 0 < share <= 1)")
+    p.add_argument("--apps", nargs="+", metavar="BENCH",
+                   help="multi-application mode: these benchmarks time-share "
+                        "one fabric per platform (positional benchmark "
+                        "arguments are ignored)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the sweep (default: CPU count)")
+    p.add_argument("--serial", action="store_true",
+                   help="disable the process pool")
     p.set_defaults(fn=cmd_dynamic)
 
     args = parser.parse_args(argv)

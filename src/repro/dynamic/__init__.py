@@ -28,15 +28,31 @@ from repro.dynamic.controller import (
     IntervalStats,
     RepartitionEvent,
 )
-from repro.dynamic.flow import run_dynamic_flow
+from repro.dynamic.fabric import FabricState
+from repro.dynamic.flow import DynamicFlowJob, run_dynamic_flow, run_dynamic_flows
+from repro.dynamic.multi import (
+    AppSpec,
+    MultiAppJob,
+    MultiAppReport,
+    run_multi_app_flow,
+    run_multi_app_flows,
+)
 
 __all__ = [
+    "AppSpec",
     "DynamicConfig",
+    "DynamicFlowJob",
     "DynamicPartitionController",
     "DynamicTimeline",
+    "FabricState",
     "IntervalStats",
+    "MultiAppJob",
+    "MultiAppReport",
     "OnlineProfiler",
     "ProfilerConfig",
     "RepartitionEvent",
     "run_dynamic_flow",
+    "run_dynamic_flows",
+    "run_multi_app_flow",
+    "run_multi_app_flows",
 ]

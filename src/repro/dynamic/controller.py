@@ -16,6 +16,25 @@ simulator's periodic samples (cumulative per-site counters), and
   decompilation/CAD cycles per lifted kernel, reconfiguration stalls, and
   per-placement data-migration time for localized kernels.
 
+Deployment-story extensions (all config-selectable, all off by default so
+the PR 3 single-scenario numbers stay reproducible):
+
+* **concurrent on-chip CAD** (``DynamicConfig.concurrent_cad``) -- warp runs
+  CAD on a separate lean processor, so the application never stalls for it:
+  a re-partition decision's kernels arrive ``cad_latency_samples`` sampling
+  intervals later, CAD cycles are recorded but never billed, and only the
+  reconfiguration/migration stall is charged when the bitstream lands,
+* **partial reconfiguration** (``Platform.fabric_regions``) -- the fabric is
+  split into regions; kernels occupy whole regions and reconfiguration is
+  charged per *changed region* instead of per kernel (see
+  :mod:`repro.dynamic.fabric`),
+* **multi-application sharing** -- several controllers (one per running
+  application) may hold placements on one shared :class:`FabricState`;
+  ``max_fabric_share`` caps any one application's slice,
+* **phase-adaptive sampling** (``adaptive_sampling``) -- once placement is
+  stable the sample interval coarsens geometrically (warp's profiler
+  duty-cycling) and snaps back to the base interval on any change.
+
 Everything is deterministic: the same binary, platform and config always
 produce the same timeline, so dynamic-vs-static tables are reproducible.
 """
@@ -30,6 +49,7 @@ from repro.decompile.decompiler import (
     DecompiledFunction,
     decompile,
 )
+from repro.dynamic.fabric import FabricState
 from repro.dynamic.profiler import OnlineProfiler, ProfilerConfig
 from repro.errors import SynthesisError
 from repro.partition.estimator import kernel_fpga_cycles, kernel_hw_seconds
@@ -65,6 +85,25 @@ class DynamicConfig:
     #: replace resident kernels of a nest when a different granularity now
     #: saves at least this factor more (hysteresis against churn)
     upgrade_margin: float = 1.15
+    #: model a CAD co-processor (warp's separate lean processor): lift and
+    #: synthesis results arrive ``cad_latency_samples`` sampling intervals
+    #: after the decision and the application never stalls for CAD cycles.
+    #: Off by default: PR 3's inline-stall accounting.
+    concurrent_cad: bool = False
+    #: sampling intervals between a re-partition decision and its kernels
+    #: arriving, when ``concurrent_cad`` is on; while a CAD job is in
+    #: flight, no new decisions are taken (one co-processor)
+    cad_latency_samples: int = 2
+    #: at most this share of the fabric's capacity may be held by this
+    #: application (the arbitration knob for multi-application fabrics)
+    max_fabric_share: float = 1.0
+    #: phase-adaptive sampling: coarsen the sample interval geometrically
+    #: once placement is stable, reset to ``sample_interval`` on any change
+    adaptive_sampling: bool = False
+    #: change-free samples before the interval doubles (adaptive mode)
+    settle_samples: int = 4
+    #: ceiling on the adaptive interval, as a multiple of sample_interval
+    max_interval_factor: int = 8
     profiler: ProfilerConfig = field(default_factory=ProfilerConfig)
 
     def __post_init__(self):
@@ -79,11 +118,30 @@ class DynamicConfig:
                 f"repartition_samples must be >= 1, got "
                 f"{self.repartition_samples}"
             )
+        if self.cad_latency_samples < 1:
+            raise ValueError(
+                f"cad_latency_samples must be >= 1, got "
+                f"{self.cad_latency_samples}"
+            )
+        if not 0.0 < self.max_fabric_share <= 1.0:
+            raise ValueError(
+                f"max_fabric_share must be in (0, 1], got "
+                f"{self.max_fabric_share}"
+            )
+        if self.settle_samples < 1:
+            raise ValueError(
+                f"settle_samples must be >= 1, got {self.settle_samples}"
+            )
+        if self.max_interval_factor < 1:
+            raise ValueError(
+                f"max_interval_factor must be >= 1, got "
+                f"{self.max_interval_factor}"
+            )
 
 
 @dataclass
 class RepartitionEvent:
-    """One re-partition decision and what it cost."""
+    """One re-partition decision (or arrival) and what it cost."""
 
     sample: int
     placed: list[str] = field(default_factory=list)
@@ -92,10 +150,23 @@ class RepartitionEvent:
     reconfig_cycles: int = 0
     migration_cycles: int = 0
     area_used: float = 0.0
+    #: fabric regions rewritten by this event's placements (one per kernel
+    #: on a monolithic fabric)
+    regions_changed: int = 0
+    #: True when CAD ran on the co-processor: ``cad_cycles`` are recorded
+    #: for reporting but never billed to application time
+    concurrent: bool = False
 
     @property
     def overhead_cycles(self) -> int:
         return self.cad_cycles + self.reconfig_cycles + self.migration_cycles
+
+    @property
+    def charged_cycles(self) -> int:
+        """Cycles actually billed to the application's timeline."""
+        if self.concurrent:
+            return self.reconfig_cycles + self.migration_cycles
+        return self.overhead_cycles
 
 
 @dataclass
@@ -239,6 +310,21 @@ class LoopSite:
         return bool(self.body_index_set & other.body_index_set)
 
 
+@dataclass
+class PlannedPlacement:
+    """One placement a re-partition decision committed to.
+
+    In inline-CAD mode the plan is applied in the same sample it was made;
+    with a concurrent CAD co-processor it is applied
+    ``cad_latency_samples`` samples later (and re-validated against the
+    fabric, which may have moved under a multi-application workload).
+    """
+
+    site: LoopSite
+    evict: list[int]          # resident header addresses to displace first
+    cad_cycles: int           # 0 when this kernel's CAD already ran earlier
+
+
 class DynamicPartitionController:
     """Consumes simulator samples; produces a :class:`DynamicTimeline`."""
 
@@ -250,17 +336,23 @@ class DynamicPartitionController:
         config: DynamicConfig | None = None,
         synthesis_options: SynthesisOptions | None = None,
         decompile_options: DecompilationOptions | None = None,
+        fabric: FabricState | None = None,
+        name: str = "app",
     ):
         self.cpu = cpu
         self.exe = exe
         self.platform = platform
         self.config = config or DynamicConfig()
+        self.name = name
         self.synthesis_options = synthesis_options or SynthesisOptions(
             device=platform.device
         )
         self.decompile_options = decompile_options
         self.profiler = OnlineProfiler(cpu, self.config.profiler)
         self.timeline = DynamicTimeline()
+        #: the fabric ledger; pass one FabricState to several controllers to
+        #: model applications time-sharing a single FPGA
+        self.fabric = fabric if fabric is not None else FabricState(platform)
 
         self._costs = cpu.site_costs
         self._text_len = len(self._costs)
@@ -270,6 +362,15 @@ class DynamicPartitionController:
         self._samples = 0
         self._carry_overhead = 0          # cycles charged to the next interval
         self._resident: dict[int, LoopSite] = {}   # header address -> site
+        #: decayed per-interval back-edge activity of *resident* sites; the
+        #: guard against evicting a kernel the capacity-bounded profiler
+        #: table crowded out while its loop is still iterating
+        self._recent_heat: dict[int, float] = {}
+        #: in-flight concurrent-CAD job: (activation sample, plan)
+        self._pending: tuple[int, list[PlannedPlacement]] | None = None
+        self._base_interval = self.config.sample_interval
+        self._interval = self.config.sample_interval
+        self._stable_samples = 0
         self._sites: dict[int, LoopSite] | None = None   # lazy on-chip CAD
         self._synthesizer = Synthesizer(self.synthesis_options)
         self._unrecoverable = False
@@ -401,10 +502,46 @@ class DynamicPartitionController:
         assert kernel is not None
         return kernel_fpga_cycles(kernel, profile) / (kernel.clock_mhz * 1e6)
 
+    # -- interval energy ----------------------------------------------------
+
+    def _interval_energy_mj(
+        self, cpu_seconds: float, fpga_seconds: float,
+        fpga_dynamic_mj: float = 0.0,
+    ) -> float:
+        """Energy of one accounted slice under the current configuration.
+
+        Shared by :meth:`on_sample` and :meth:`finish` so the two can never
+        drift: CPU active power for the CPU-side seconds, CPU idle power
+        while waiting on the fabric, kernel dynamic energy, and the
+        fabric's static burn over the slice's whole wall time whenever this
+        application holds configured kernels.  An empty fabric is
+        power-gated; on a shared fabric the static burn is apportioned by
+        area share so concurrent applications never double-bill one fabric.
+        """
+        platform = self.platform
+        active_mw = platform.cpu_power.active_mw(platform.cpu_clock_mhz)
+        idle_mw = platform.cpu_power.idle_mw(platform.cpu_clock_mhz)
+        wall_seconds = cpu_seconds + fpga_seconds
+        fpga_static_mj = (
+            platform.fpga_power.static_mw * wall_seconds
+            * self.fabric.static_share(self)
+        )
+        return (
+            active_mw * cpu_seconds
+            + idle_mw * fpga_seconds
+            + fpga_dynamic_mj
+            + fpga_static_mj
+        )
+
     # -- the sampling callback ----------------------------------------------
 
-    def on_sample(self, counts: list[int], taken: list[int]) -> None:
-        """Account the interval just finished, then maybe re-partition."""
+    def on_sample(self, counts: list[int], taken: list[int]) -> int | None:
+        """Account the interval just finished, then maybe re-partition.
+
+        Returns the next sample interval when phase-adaptive sampling is
+        enabled (the simulator's chunked dispatch honours the return
+        value), ``None`` otherwise.
+        """
         platform = self.platform
         cpu_hz = platform.cpu_clock_mhz * 1e6
         text_len = self._text_len
@@ -423,13 +560,25 @@ class DynamicPartitionController:
             if t:
                 cycles += self._taken_penalty * t
 
+        # age decayed state once per base-interval-worth of *executed*
+        # instructions: under adaptive sampling the chunk is a multiple of
+        # the base interval, except the final (halt) sample, which may be
+        # partial -- deriving periods from the interval's own step count
+        # keeps aging a function of executed instructions there too
+        periods = max(1, steps // self._base_interval)
+        recent_decay = self.config.profiler.decay ** periods
+
         moved_cycles = 0
         fpga_seconds = 0.0
         fpga_dynamic_mj = 0.0
         invocation_cycles = 0.0
-        for site in self._resident.values():
+        for address, site in self._resident.items():
             profile, loop_cycles = self._site_profile(
                 site, counts, taken, prev_counts, prev_taken
+            )
+            self._recent_heat[address] = (
+                self._recent_heat.get(address, 0.0) * recent_decay
+                + profile.iterations
             )
             if loop_cycles <= 0:
                 continue
@@ -453,18 +602,8 @@ class DynamicPartitionController:
         sw_only_seconds = cycles / cpu_hz
 
         active_mw = platform.cpu_power.active_mw(platform.cpu_clock_mhz)
-        idle_mw = platform.cpu_power.idle_mw(platform.cpu_clock_mhz)
-        # fabric static power only while kernels are configured: an empty
-        # fabric is power-gated, keeping the all-software intervals at parity
-        # with the all-software baseline (as in the static flow's arithmetic)
-        fpga_static_mj = (
-            platform.fpga_power.static_mw * wall_seconds if self._resident else 0.0
-        )
-        energy_mj = (
-            active_mw * cpu_seconds
-            + idle_mw * fpga_seconds
-            + fpga_dynamic_mj
-            + fpga_static_mj
+        energy_mj = self._interval_energy_mj(
+            cpu_seconds, fpga_seconds, fpga_dynamic_mj
         )
         sw_energy_mj = active_mw * sw_only_seconds
 
@@ -482,20 +621,39 @@ class DynamicPartitionController:
             resident=[site.name for site in self._resident.values()],
         ))
 
-        self.profiler.sample(counts, taken)
+        self.profiler.sample(counts, taken, decay_periods=periods)
         self._prev_counts = counts[:text_len]
         self._prev_taken = taken[:text_len]
         self._samples += 1
-        if self._samples % self.config.repartition_samples == 0:
-            self._repartition(counts, taken)
+
+        changed = False
+        if self._pending is not None and self._samples >= self._pending[0]:
+            changed = self._activate_pending()
+        if (
+            self._pending is None
+            and self._samples % self.config.repartition_samples == 0
+        ):
+            changed = self._repartition(counts, taken) or changed
+        return self._adapt_interval(changed)
+
+    def _adapt_interval(self, changed: bool) -> int | None:
+        """Phase-adaptive sampling: coarsen while stable, reset on change."""
+        config = self.config
+        if not config.adaptive_sampling:
+            return None
+        base = self._base_interval
+        if changed:
+            self._stable_samples = 0
+            self._interval = base
+            return self._interval
+        self._stable_samples += 1
+        ceiling = base * config.max_interval_factor
+        if self._stable_samples >= config.settle_samples and self._interval < ceiling:
+            self._interval = min(self._interval * 2, ceiling)
+            self._stable_samples = 0
+        return self._interval
 
     # -- re-partitioning ----------------------------------------------------
-
-    def _area_used(self) -> float:
-        return sum(
-            site.kernel.area_gates for site in self._resident.values()
-            if site.kernel is not None
-        )
 
     def _site_heat(self, site: LoopSite) -> float:
         """Nest-aware hotness: every hot back-edge target inside the site's
@@ -507,6 +665,16 @@ class DynamicPartitionController:
             for address, score in self.profiler.hotness.items()
             if (address - text_base) >> 2 in body
         )
+
+    def _effective_heat(self, address: int, site: LoopSite) -> float:
+        """Table hotness of the nest, floored by the site's own recent
+        back-edge activity.  The profiler table holds only ``table_size``
+        entries, so a resident kernel can be crowded out by hotter loops
+        and read as stone-cold (heat 0.0) while its loop is still
+        iterating every interval -- evicting on table hotness alone threw
+        away profitable kernels.  Residents are few (``max_kernels``), so
+        tracking their own interval deltas is hardware-plausible."""
+        return max(self._site_heat(site), self._recent_heat.get(address, 0.0))
 
     def _family_best(
         self, site: LoopSite, counts: list[int], taken: list[int]
@@ -557,31 +725,84 @@ class DynamicPartitionController:
                                        profile=cumulative)
         return sw_seconds - hw_seconds
 
-    def _repartition(self, counts: list[int], taken: list[int]) -> None:
+    def _evict(self, address: int, event: RepartitionEvent) -> None:
+        """Remove one resident kernel everywhere it is tracked."""
+        site = self._resident.pop(address)
+        self.fabric.evict(self, address)
+        self._recent_heat.pop(address, None)
+        event.evicted.append(site.name)
+
+    def _repartition(self, counts: list[int], taken: list[int]) -> bool:
         config = self.config
         hot = self.profiler.hot_targets()
         if not hot and not self._resident:
-            return
-        sites = self._ensure_sites()
+            return False
+        self._ensure_sites()   # populate the site index (on-chip CAD)
         if self._unrecoverable:
-            return
+            return False
         event = RepartitionEvent(sample=self._samples)
 
-        # 1. evict kernels whose whole nest cooled down (frees fabric)
+        # 1. evict kernels whose whole nest cooled down (frees fabric).
+        #    Applied immediately even with a CAD co-processor: turning a
+        #    kernel off needs no CAD.
         total_weight = self.profiler.total_weight()
         evict_below = config.evict_fraction * total_weight
         for address in list(self._resident):
-            if self._site_heat(self._resident[address]) < evict_below:
-                event.evicted.append(self._resident.pop(address).name)
+            if self._effective_heat(address, self._resident[address]) < evict_below:
+                self._evict(address, event)
 
-        # 2. place hot nests, hottest first, online-estimated-profitable
+        # 2. plan placements, hottest first, online-estimated-profitable
         #    only; a nest already covered by resident kernels is revisited
         #    in case a different granularity has become the better lift
         #    (e.g. the outer loop's back-edge had not executed yet when the
         #    inner loops were first placed)
-        budget = self.platform.capacity_gates
+        plan = self._plan(hot, counts, taken)
+
+        changed = False
+        if config.concurrent_cad:
+            if event.evicted:
+                event.area_used = self.fabric.area_used(self)
+                self.timeline.events.append(event)
+                changed = True
+            if plan:
+                # the co-processor starts lifting now; results land later
+                self._pending = (
+                    self._samples + config.cad_latency_samples, plan
+                )
+                changed = True
+        else:
+            self._apply_plan(plan, event)
+            if event.placed or event.evicted:
+                event.area_used = self.fabric.area_used(self)
+                self.timeline.events.append(event)
+                self._carry_overhead += event.charged_cycles
+                changed = True
+        return changed
+
+    def _plan(
+        self, hot: list[tuple[int, float]], counts: list[int], taken: list[int]
+    ) -> list[PlannedPlacement]:
+        """Decide placements against a shadow of the fabric.
+
+        The shadow makes the decision logic identical whether the plan is
+        applied in the same sample (inline CAD) or ``cad_latency_samples``
+        later (concurrent CAD): each accepted placement updates the shadow
+        so later candidates see its effect, exactly as the PR 3 in-place
+        mutation did.
+        """
+        config = self.config
+        fabric = self.fabric
+        sites = self._sites
+        shadow: dict[int, LoopSite] = dict(self._resident)
+        shadow_units: dict[int, float] = {
+            address: fabric.units_of(self, address) for address in shadow
+        }
+        free = fabric.free_units()
+        own = fabric.owner_units(self)
+        share_cap = config.max_fabric_share * fabric.total_units
+        plan: list[PlannedPlacement] = []
         for address, _score in hot:
-            if len(self._resident) >= config.max_kernels:
+            if len(shadow) >= config.max_kernels:
                 break
             hot_site = sites.get(address)
             if hot_site is None:
@@ -590,65 +811,118 @@ class DynamicPartitionController:
             if choice is None:
                 continue
             site, saved = choice
-            if site.header_address in self._resident:
+            if site.header_address in shadow:
                 continue
             kernel = site.kernel
             displaced = [
                 resident_address
-                for resident_address, resident in self._resident.items()
+                for resident_address, resident in shadow.items()
                 if site.overlaps(resident)
             ]
             if displaced:
                 # granularity upgrade: only replace the nest's resident
                 # kernels when the new choice clearly saves more
                 resident_saved = sum(
-                    self._site_saved(self._resident[a], counts, taken)
+                    self._site_saved(shadow[a], counts, taken)
                     for a in displaced
                 )
                 if saved <= resident_saved * config.upgrade_margin:
                     continue
-            area = self._area_used() - sum(
-                self._resident[a].kernel.area_gates for a in displaced
-            )
+            need = fabric.units_for(kernel)
+            freed = sum(shadow_units[a] for a in displaced)
             to_evict = list(displaced)
-            if area + kernel.area_gates > budget:
+            if free + freed < need or own - freed + need > share_cap:
                 # try evicting colder unrelated nests to make room
-                heat = self._site_heat(site)
+                heat = self._effective_heat(site.header_address, site)
                 by_heat = sorted(
-                    (item for item in self._resident.items()
+                    (item for item in shadow.items()
                      if item[0] not in displaced),
-                    key=lambda kv: self._site_heat(kv[1]),
+                    key=lambda kv: self._effective_heat(kv[0], kv[1]),
                 )
                 for resident_address, resident in by_heat:
-                    if self._site_heat(resident) >= heat:
+                    if self._effective_heat(resident_address, resident) >= heat:
                         break
                     to_evict.append(resident_address)
-                    area -= resident.kernel.area_gates
-                    if area + kernel.area_gates <= budget:
+                    freed += shadow_units[resident_address]
+                    if free + freed >= need and own - freed + need <= share_cap:
                         break
-                if area + kernel.area_gates > budget:
+                if free + freed < need or own - freed + need > share_cap:
                     continue   # no fit even after evictions: leave as-is
-            for resident_address in to_evict:
-                event.evicted.append(self._resident.pop(resident_address).name)
-            # charge the overheads the static flow never pays
+            cad_cycles = 0
             if not site.cad_charged:
                 site.cad_charged = True
-                event.cad_cycles += config.cad_cycles_base + int(
+                cad_cycles = config.cad_cycles_base + int(
                     config.cad_cycles_per_kgate * kernel.area_gates / 1000.0
                 )
-            event.reconfig_cycles += config.reconfig_cycles
+            for resident_address in to_evict:
+                shadow.pop(resident_address)
+                shadow_units.pop(resident_address)
+            free = free + freed - need
+            own = own - freed + need
+            shadow[site.header_address] = site
+            shadow_units[site.header_address] = need
+            plan.append(PlannedPlacement(
+                site=site, evict=to_evict, cad_cycles=cad_cycles
+            ))
+        return plan
+
+    def _apply_plan(
+        self, plan: list[PlannedPlacement], event: RepartitionEvent
+    ) -> None:
+        """Apply planned placements; re-validates against the live fabric
+        (a concurrent-CAD result can be stale under multi-app sharing --
+        stale entries are dropped *whole*: their displacement evictions
+        must not run either, or a result that no longer fits would destroy
+        the working kernels it meant to replace)."""
+        config = self.config
+        fabric = self.fabric
+        share_cap = config.max_fabric_share * fabric.total_units
+        for placement in plan:
+            site = placement.site
+            if site.header_address in self._resident:
+                continue
+            evict = [address for address in placement.evict
+                     if address in self._resident]
+            if len(self._resident) - len(evict) >= config.max_kernels:
+                continue
+            kernel = site.kernel
+            need = fabric.units_for(kernel)
+            freed = sum(fabric.units_of(self, address) for address in evict)
+            if need > fabric.free_units() + freed:
+                continue
+            if fabric.owner_units(self) - freed + need > share_cap:
+                continue
+            for address in evict:
+                self._evict(address, event)
+            regions = fabric.place(self, site.header_address, kernel)
+            self._resident[site.header_address] = site
+            event.placed.append(site.name)
+            event.regions_changed += regions
+            # charge the overheads the static flow never pays
+            event.cad_cycles += placement.cad_cycles
+            event.reconfig_cycles += config.reconfig_cycles * regions
             if kernel.localized and kernel.bram_bytes:
                 event.migration_cycles += int(
                     2 * (kernel.bram_bytes / 4)
                     * self.platform.migration_cycles_per_word
                 )
-            self._resident[site.header_address] = site
-            event.placed.append(site.name)
 
+    def _activate_pending(self) -> bool:
+        """A concurrent-CAD job finished: configure its kernels now.
+
+        Only the reconfiguration/migration stall is billed; the CAD cycles
+        ran on the co-processor and are recorded for reporting only.
+        """
+        _activate_at, plan = self._pending
+        self._pending = None
+        event = RepartitionEvent(sample=self._samples, concurrent=True)
+        self._apply_plan(plan, event)
         if event.placed or event.evicted:
-            event.area_used = self._area_used()
+            event.area_used = self.fabric.area_used(self)
             self.timeline.events.append(event)
-            self._carry_overhead += event.overhead_cycles
+            self._carry_overhead += event.charged_cycles
+            return True
+        return False
 
     # -- wrap-up ------------------------------------------------------------
 
@@ -661,10 +935,11 @@ class DynamicPartitionController:
             last.overhead_cycles += int(extra)
             extra_seconds = extra / (self.platform.cpu_clock_mhz * 1e6)
             last.wall_seconds += extra_seconds
-            active_mw = self.platform.cpu_power.active_mw(self.platform.cpu_clock_mhz)
-            last.energy_mj += active_mw * extra_seconds
+            last.energy_mj += self._interval_energy_mj(extra_seconds, 0.0)
+        # CAD results that never arrived cost nothing and change nothing
+        self._pending = None
         self.timeline.final_resident = [
             site.name for site in self._resident.values()
         ]
-        self.timeline.area_used = self._area_used()
+        self.timeline.area_used = self.fabric.area_used(self)
         return self.timeline

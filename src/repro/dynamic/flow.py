@@ -14,11 +14,13 @@ Lysecky & Vahid soft-core study reports.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.binary.image import Executable
 from repro.compiler.driver import CompilerOptions, compile_source
 from repro.decompile.decompiler import DecompilationOptions
 from repro.dynamic.controller import DynamicConfig, DynamicPartitionController
-from repro.flow import DynamicFlowReport, run_flow_on_executable
+from repro.flow import DynamicFlowReport, run_flow_on_executable, run_jobs
 from repro.platform.platform import MIPS_200MHZ, Platform
 from repro.sim.cpu import Cpu
 from repro.synth.synthesizer import SynthesisOptions
@@ -95,3 +97,40 @@ def run_dynamic_flow_on_executable(
         timeline=timeline,
         config=config,
     )
+
+
+@dataclass(frozen=True)
+class DynamicFlowJob:
+    """One unit of dynamic-sweep work for :func:`run_dynamic_flows`."""
+
+    source: str
+    name: str = "benchmark"
+    opt_level: int = 1
+    platform: Platform = MIPS_200MHZ
+    config: DynamicConfig | None = None
+    max_steps: int = 200_000_000
+
+
+def _execute_dynamic_job(job: DynamicFlowJob) -> DynamicFlowReport:
+    return run_dynamic_flow(
+        job.source,
+        job.name,
+        opt_level=job.opt_level,
+        platform=job.platform,
+        config=job.config,
+        max_steps=job.max_steps,
+    )
+
+
+def run_dynamic_flows(
+    jobs, max_workers: int | None = None
+) -> list[DynamicFlowReport]:
+    """Run many independent dynamic flows through the process pool.
+
+    Same contract as :func:`repro.flow.run_flows`: reports come back in job
+    order, *max_workers* defaults to the CPU count (pass ``1`` to force
+    serial in-process execution), and pool-infrastructure failures degrade
+    to a serial retry.  Dynamic flows are deterministic, so the parallel
+    and serial paths produce identical timelines.
+    """
+    return run_jobs(_execute_dynamic_job, jobs, max_workers)

@@ -57,12 +57,21 @@ class OnlineProfiler:
         self.hotness: dict[int, float] = {}
         self.samples = 0
 
-    def sample(self, counts: list[int], taken: list[int]) -> None:
-        """Fold one sampling interval's deltas into the hot-target table."""
+    def sample(
+        self, counts: list[int], taken: list[int], decay_periods: int = 1
+    ) -> None:
+        """Fold one sampling interval's deltas into the hot-target table.
+
+        *decay_periods* scales the aging applied for this sample: with
+        phase-adaptive sampling the controller coarsens the interval to a
+        multiple of the base one, and passing that multiple here keeps the
+        table's aging a function of executed instructions rather than of
+        how often the (duty-cycled) profiler was read.
+        """
         config = self.config
         hotness = self.hotness
         if hotness:
-            decay = config.decay
+            decay = config.decay ** decay_periods
             for address in hotness:
                 hotness[address] *= decay
         for index, target in self._branch_sites:

@@ -21,7 +21,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence
+from functools import partial
+from typing import Callable, Iterable, Sequence, TYPE_CHECKING
 
 from repro.binary.image import Executable
 from repro.compiler.driver import CompilerOptions, compile_source
@@ -154,11 +155,56 @@ class _JobFailure(Exception):
         self.cause = cause
 
 
-def _execute_job_guarded(job: FlowJob) -> FlowReport:
+def _guarded(worker: Callable, item):
     try:
-        return _execute_job(job)
+        return worker(item)
     except Exception as exc:
         raise _JobFailure(exc) from exc
+
+
+def run_jobs(
+    worker: Callable, items: Iterable, max_workers: int | None = None
+) -> list:
+    """Map a picklable *worker* over *items* through a process pool.
+
+    The generic engine behind :func:`run_flows` (and the dynamic-sweep
+    runner in :mod:`repro.dynamic.flow`): results come back in item order,
+    *max_workers* defaults to the CPU count, ``1`` forces in-process serial
+    execution, and pool-infrastructure failures (sandboxed hosts refusing
+    worker processes, workers dying from the outside) degrade gracefully to
+    a serial retry while genuine job errors propagate unchanged.  Workers
+    must be deterministic so the parallel and serial paths are drop-ins for
+    each other.
+    """
+    item_list = list(items)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    max_workers = min(max_workers, len(item_list))
+    if max_workers <= 1:
+        return [worker(item) for item in item_list]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            # consume inside the `with` block: results stream back as
+            # workers finish, and a pool that breaks mid-iteration is
+            # caught here rather than surfacing from __exit__
+            return list(pool.map(partial(_guarded, worker), item_list))
+    except _JobFailure as failure:
+        # re-raise the job's own exception; keep concurrent.futures'
+        # _RemoteTraceback chained so the worker-side frames stay visible
+        raise failure.cause from failure.__cause__
+    except (OSError, BrokenExecutor):
+        # OSError: sandboxed/odd hosts that refuse worker processes or
+        # semaphores.  BrokenExecutor/BrokenProcessPool: a worker died from
+        # the *outside* (OOM kill, container signal) -- that is pool
+        # infrastructure failing, not the job itself, so retry serially.
+        # The retry runs *outside* this handler (below): the broken pool
+        # has fully torn down (the `with` block joined its remains before
+        # the except body ran), the handler keeps no reference to the
+        # in-flight exception, and on single-core hosts the serial pass --
+        # which can take minutes for a big sweep -- is not racing half-dead
+        # worker processes for CPU, which made this path timing-sensitive.
+        pass
+    return [worker(item) for item in item_list]
 
 
 def run_flows(
@@ -197,41 +243,10 @@ def run_flows(
     return reports
 
 
-def _run_serial(job_list: Sequence[FlowJob]) -> list[FlowReport]:
-    return [_execute_job(job) for job in job_list]
-
-
 def _run_flows_uncached(
     job_list: Sequence[FlowJob], max_workers: int | None
 ) -> list[FlowReport]:
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    max_workers = min(max_workers, len(job_list))
-    if max_workers <= 1:
-        return _run_serial(job_list)
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            # consume inside the `with` block: results stream back as
-            # workers finish, and a pool that breaks mid-iteration is
-            # caught here rather than surfacing from __exit__
-            return list(pool.map(_execute_job_guarded, job_list))
-    except _JobFailure as failure:
-        # re-raise the job's own exception; keep concurrent.futures'
-        # _RemoteTraceback chained so the worker-side frames stay visible
-        raise failure.cause from failure.__cause__
-    except (OSError, BrokenExecutor):
-        # OSError: sandboxed/odd hosts that refuse worker processes or
-        # semaphores.  BrokenExecutor/BrokenProcessPool: a worker died from
-        # the *outside* (OOM kill, container signal) -- that is pool
-        # infrastructure failing, not the job itself, so retry serially.
-        # The retry runs *outside* this handler (below): the broken pool
-        # has fully torn down (the `with` block joined its remains before
-        # the except body ran), the handler keeps no reference to the
-        # in-flight exception, and on single-core hosts the serial pass --
-        # which can take minutes for a big sweep -- is not racing half-dead
-        # worker processes for CPU, which made this path timing-sensitive.
-        pass
-    return _run_serial(job_list)
+    return run_jobs(_execute_job, job_list, max_workers)
 
 
 def run_flow_on_executable(

@@ -22,6 +22,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -121,6 +122,35 @@ def load_report(job: FlowJob) -> FlowReport | None:
     return report
 
 
+#: a ``*.tmp`` scratch file older than this is an orphan from a crashed
+#: writer (a live ``store_report`` publishes or unlinks within seconds)
+STALE_TMP_SECONDS = 3600.0
+
+
+def _sweep_stale_tmp(directory: Path, max_age: float = STALE_TMP_SECONDS) -> int:
+    """Remove ``*.tmp`` orphans left by crashed writers; returns the count.
+
+    ``store_report`` publishes via ``mkstemp`` + ``os.replace`` and unlinks
+    its scratch file on any error, but a writer killed between the two
+    (OOM, SIGKILL, power loss) leaks the ``.tmp`` forever.  Only files
+    older than *max_age* are touched so a concurrent writer's in-flight
+    scratch file is never yanked away.
+    """
+    removed = 0
+    now = time.time()
+    try:
+        for entry in directory.glob("*.tmp"):
+            try:
+                if now - entry.stat().st_mtime >= max_age:
+                    entry.unlink()
+                    removed += 1
+            except OSError:
+                pass
+    except OSError:
+        pass
+    return removed
+
+
 def store_report(job: FlowJob, report: FlowReport) -> None:
     """Persist *report*; failures are silently ignored (cache, not storage)."""
     path = _path_for(job)
@@ -138,20 +168,26 @@ def store_report(job: FlowJob, report: FlowReport) -> None:
             except OSError:
                 pass
             raise
+        # opportunistic housekeeping: a writer that made it this far can
+        # afford one directory scan to reap orphans of less lucky ones
+        _sweep_stale_tmp(path.parent)
     except (OSError, pickle.PicklingError):
         pass
 
 
 def clear() -> int:
-    """Delete every cached report; returns the number of files removed."""
+    """Delete every cached report (and any ``*.tmp`` writer scratch files,
+    whatever their age -- clearing the cache is explicit); returns the
+    number of files removed."""
     removed = 0
     try:
-        for entry in cache_dir().glob("*.pkl"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.pkl", "*.tmp"):
+            for entry in cache_dir().glob(pattern):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
     except OSError:
         pass
     return removed

@@ -42,6 +42,13 @@ class Platform:
     core: str = "hard"
     #: fabric consumed by the soft core itself (0 for hard cores)
     core_area_gates: float = 0.0
+    #: partial-reconfiguration regions the kernel fabric is split into.
+    #: 0 models a monolithic fabric (the PR 3 behavior: reconfiguration is
+    #: charged once per placed kernel); N > 0 splits :attr:`capacity_gates`
+    #: into N equal regions -- a kernel occupies whole regions, and the
+    #: dynamic controller charges ``reconfig_cycles`` per *changed region*
+    #: instead of per kernel.
+    fabric_regions: int = 0
 
     def cpu_seconds(self, cycles: float) -> float:
         return cycles / (self.cpu_clock_mhz * 1e6)
@@ -50,6 +57,28 @@ class Platform:
     def capacity_gates(self) -> float:
         """FPGA area available to kernels: the device minus the soft core."""
         return max(0.0, self.device.capacity_gates - self.core_area_gates)
+
+    @property
+    def region_gates(self) -> float:
+        """Gates per partial-reconfiguration region (0.0 when monolithic)."""
+        if self.fabric_regions <= 0:
+            return 0.0
+        return self.capacity_gates / self.fabric_regions
+
+    def with_regions(self, regions: int) -> "Platform":
+        """This platform with the fabric split into *regions* PR regions."""
+        from dataclasses import replace
+
+        if regions < 0:
+            raise ValueError(
+                f"fabric_regions must be >= 0, got {regions} "
+                "(0 = monolithic fabric)"
+            )
+        return replace(
+            self,
+            name=f"{self.name} [{regions} PR regions]" if regions else self.name,
+            fabric_regions=regions,
+        )
 
 
 MIPS_40MHZ = Platform(name="MIPS-40MHz + Virtex-II", cpu_clock_mhz=40.0)

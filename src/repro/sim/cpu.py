@@ -665,7 +665,24 @@ class Cpu:
         the same instruction counts on both dispatch engines: the
         superblock loop only runs a whole block when it fits in the
         remaining chunk budget and single-steps the tail otherwise.
+
+        A callback may return a positive integer to set the *next* chunk's
+        sample interval (phase-adaptive sampling); any falsy return keeps
+        the current interval.
         """
+        if on_sample is not None and sample_interval > 0:
+            # the chunked dispatch lives in exactly one place -- the
+            # run_sampled generator; this path just feeds its yields to the
+            # callback (cost: one generator resume per chunk, invisible
+            # next to the callback itself)
+            generator = self.run_sampled(max_steps, sample_interval)
+            try:
+                payload = next(generator)
+                while True:
+                    payload = generator.send(on_sample(*payload))
+            except StopIteration as stop:
+                return stop.value
+
         text_base = self.exe.text_base
         text_len = len(self._decoded)
         taken = self._taken
@@ -680,13 +697,9 @@ class Cpu:
             raise SimulationError(f"pc outside text section: 0x{pc:08x}")
 
         if self._sb is not None:
-            index, halted = self._run_superblock(
-                index, counts, max_steps, sample_interval, on_sample
-            )
+            index, halted = self._run_superblock(index, counts, max_steps)
         else:
-            index, halted = self._run_threaded(
-                index, counts, max_steps, sample_interval, on_sample
-            )
+            index, halted = self._run_threaded(index, counts, max_steps)
 
         pc = text_base + (index << 2)
         self.pc = pc
@@ -696,84 +709,60 @@ class Cpu:
 
         return self._gather(counts)
 
-    def _run_threaded(
-        self, index: int, counts: list[int], max_steps: int,
-        sample_interval: int, on_sample,
-    ) -> tuple[int, bool]:
-        """One closure call per instruction; the PR 1 dispatch loop."""
-        handlers = self._handlers
+    def run_sampled(self, max_steps: int = 100_000_000,
+                    sample_interval: int = 4_000):
+        """Generator twin of :meth:`run` for externally-driven sampling.
+
+        Yields ``(counts, taken)`` -- the live cumulative counter arrays --
+        at every *sample_interval*-instruction boundary and once more when
+        the program halts, exactly where :meth:`run` would invoke
+        ``on_sample``.  ``send()`` a positive integer into the generator to
+        set the next chunk's interval (same contract as an ``on_sample``
+        return value).  The :class:`RunResult` is the generator's return
+        value (``StopIteration.value``).
+
+        This inversion of control is what lets several applications
+        time-share one modeled fabric: a round-robin driver advances each
+        application's generator one sampling interval at a time, giving
+        their dynamic-partition controllers an interleaved view of a
+        shared :class:`~repro.dynamic.fabric.FabricState` (see
+        :mod:`repro.dynamic.multi`).
+        """
+        if sample_interval < 1:
+            raise SimulationError(
+                f"run_sampled needs a positive sample_interval, "
+                f"got {sample_interval}"
+            )
+        text_base = self.exe.text_base
+        text_len = len(self._decoded)
         taken = self._taken
+        taken[:] = [0] * text_len
+        self._dyn_edges.clear()
+        self._hilo[0], self._hilo[1] = self.hi, self.lo
+        counts = [0] * len(self._handlers)
+
+        pc = self.pc
+        index = (pc - text_base) >> 2
+        if pc & 3 or not 0 <= index < text_len:
+            raise SimulationError(f"pc outside text section: 0x{pc:08x}")
+
+        handlers = self._handlers
+        sb = self._sb
+        if sb is not None:
+            sb.reset()
+            entries = sb.entries
+            materialize = sb.materialize
         halted = False
+        remaining = max_steps
         try:
-            if on_sample is None or sample_interval <= 0:
-                for _ in repeat(None, max_steps):
-                    counts[index] += 1
-                    index = handlers[index]()
-            else:
-                remaining = max_steps
-                while remaining > 0:
-                    chunk = min(sample_interval, remaining)
-                    for _ in repeat(None, chunk):
+            while remaining > 0:
+                budget = min(sample_interval, remaining)
+                remaining -= budget
+                if sb is None:
+                    for _ in repeat(None, budget):
                         counts[index] += 1
                         index = handlers[index]()
-                    remaining -= chunk
-                    on_sample(counts, taken)
-        except _Halt:
-            halted = True
-            if on_sample is not None and sample_interval > 0:
-                on_sample(counts, taken)
-        return index, halted
-
-    def _run_superblock(
-        self, index: int, counts: list[int], max_steps: int,
-        sample_interval: int, on_sample,
-    ) -> tuple[int, bool]:
-        """One generated-function call per basic block.
-
-        A block only runs when it fits in the remaining chunk budget;
-        otherwise the per-instruction threaded handlers execute the tail,
-        so step budgets (sampling chunks, ``max_steps``) are honoured to
-        the exact instruction, bit-identical with the threaded loop.
-        Per-block entry counters are folded into *counts* at every
-        observation point (chunk boundary, halt), never mid-chunk.
-        """
-        sb = self._sb
-        sb.reset()
-        entries = sb.entries
-        materialize = sb.materialize
-        handlers = self._handlers
-        taken = self._taken
-        chunked = on_sample is not None and sample_interval > 0
-        halted = False
-        try:
-            if not chunked:
-                # Budget-free dispatch sprees: any run of remaining//L block
-                # calls cannot overshoot max_steps (every block executes at
-                # most L instructions), so the hot loop carries no budget
-                # arithmetic at all.  Halting programs never even reach the
-                # first checkpoint; a runaway one re-derives the executed
-                # count from the counters and finishes with an exact
-                # single-stepped tail, so max_steps semantics stay
-                # bit-identical with the threaded loop.
-                fns = sb.fns
-                longest = sb.max_block_len
-                remaining = max_steps
-                while remaining >= longest:
-                    for _ in repeat(None, remaining // longest):
-                        fn = fns[index]
-                        if fn is None:
-                            fn = materialize(index)[1]
-                        index = fn()
-                    sb.fold_into(counts)
-                    remaining = max_steps - sum(counts)
-                for _ in repeat(None, remaining):
-                    counts[index] += 1
-                    index = handlers[index]()
-            else:
-                remaining = max_steps
-                while remaining > 0:
-                    budget = min(sample_interval, remaining)
-                    remaining -= budget
+                else:
                     while budget > 0:
                         n, fn = entries[index]
                         if n > budget:
@@ -787,14 +776,95 @@ class Cpu:
                         index = fn()
                         budget -= n
                     sb.fold_into(counts)
-                    on_sample(counts, taken)
+                sent = yield (counts, taken)
+                if sent:
+                    # same guard as the initial argument: a negative or
+                    # non-integer override would hang the dispatch loop
+                    # (zero-instruction chunks forever) or crash mid-run
+                    if not isinstance(sent, int) or isinstance(sent, bool) \
+                            or sent < 1:
+                        raise SimulationError(
+                            "sample-interval override must be a positive "
+                            f"integer, got {sent!r}"
+                        )
+                    sample_interval = sent
         except _Halt as halt:
             halted = True
             if halt.args:
                 index = halt.args[0]
-            if chunked:
+            if sb is not None:
                 sb.fold_into(counts)
-                on_sample(counts, taken)
+            yield (counts, taken)
+        if sb is not None:
+            sb.fold_into(counts)
+        self.pc = text_base + (index << 2)
+        self.hi, self.lo = self._hilo[0], self._hilo[1]
+        if not halted:
+            raise SimulationError(
+                f"exceeded max_steps={max_steps} (pc=0x{self.pc:08x})"
+            )
+        return self._gather(counts)
+
+    def _run_threaded(
+        self, index: int, counts: list[int], max_steps: int,
+    ) -> tuple[int, bool]:
+        """One closure call per instruction; the PR 1 dispatch loop.
+
+        Unchunked only: sampling runs go through :meth:`run_sampled`.
+        """
+        handlers = self._handlers
+        halted = False
+        try:
+            for _ in repeat(None, max_steps):
+                counts[index] += 1
+                index = handlers[index]()
+        except _Halt:
+            halted = True
+        return index, halted
+
+    def _run_superblock(
+        self, index: int, counts: list[int], max_steps: int,
+    ) -> tuple[int, bool]:
+        """One generated-function call per basic block.
+
+        Unchunked only (sampling runs go through :meth:`run_sampled`,
+        which single-steps chunk tails through the threaded handlers so
+        boundaries land on the exact instruction).  Per-block entry
+        counters are folded into *counts* at every observation point,
+        never mid-spree.
+        """
+        sb = self._sb
+        sb.reset()
+        materialize = sb.materialize
+        handlers = self._handlers
+        halted = False
+        try:
+            # Budget-free dispatch sprees: any run of remaining//L block
+            # calls cannot overshoot max_steps (every block executes at
+            # most L instructions), so the hot loop carries no budget
+            # arithmetic at all.  Halting programs never even reach the
+            # first checkpoint; a runaway one re-derives the executed
+            # count from the counters and finishes with an exact
+            # single-stepped tail, so max_steps semantics stay
+            # bit-identical with the threaded loop.
+            fns = sb.fns
+            longest = sb.max_block_len
+            remaining = max_steps
+            while remaining >= longest:
+                for _ in repeat(None, remaining // longest):
+                    fn = fns[index]
+                    if fn is None:
+                        fn = materialize(index)[1]
+                    index = fn()
+                sb.fold_into(counts)
+                remaining = max_steps - sum(counts)
+            for _ in repeat(None, remaining):
+                counts[index] += 1
+                index = handlers[index]()
+        except _Halt as halt:
+            halted = True
+            if halt.args:
+                index = halt.args[0]
         sb.fold_into(counts)
         return index, halted
 

@@ -144,6 +144,53 @@ class TestUnrecoverable:
         assert report.energy_savings == pytest.approx(0.0)
 
 
+class TestAdaptiveSampling:
+    _ADAPTIVE = DynamicConfig(
+        sample_interval=1_000, repartition_samples=2,
+        adaptive_sampling=True, settle_samples=2, max_interval_factor=8,
+    )
+
+    def _run(self, config):
+        return run_dynamic_flow(
+            _TWO_KERNELS, "two_kernels", opt_level=1,
+            platform=MIPS_200MHZ, config=config,
+        )
+
+    def test_intervals_coarsen_once_stable(self):
+        report = self._run(self._ADAPTIVE)
+        steps = [iv.steps for iv in report.timeline.intervals]
+        # the run starts at the base interval and ends with coarse chunks
+        assert steps[0] == 1_000
+        assert max(steps) > 1_000
+        # coarsening never exceeds the configured ceiling
+        assert max(steps) <= 8 * 1_000
+
+    def test_accounting_still_exact(self):
+        report = self._run(self._ADAPTIVE)
+        total = sum(iv.cycles for iv in report.timeline.intervals)
+        assert total == report.static.run.cycles
+        assert sum(iv.steps for iv in report.timeline.intervals) == \
+            report.static.run.steps
+
+    def test_fewer_samples_than_fixed_interval(self):
+        fixed = self._run(DynamicConfig(
+            sample_interval=1_000, repartition_samples=2,
+        ))
+        adaptive = self._run(self._ADAPTIVE)
+        # duty-cycling the profiler is the point: measurably fewer samples
+        assert len(adaptive.timeline.intervals) < len(fixed.timeline.intervals)
+        # and the result still converges to hardware
+        assert adaptive.timeline.final_resident
+        assert adaptive.dynamic_speedup > 1.0
+
+    def test_deterministic(self):
+        one = self._run(self._ADAPTIVE)
+        two = self._run(self._ADAPTIVE)
+        assert one.summary_row() == two.summary_row()
+        assert [iv.steps for iv in one.timeline.intervals] == \
+            [iv.steps for iv in two.timeline.intervals]
+
+
 class TestDeterminism:
     def test_same_inputs_same_timeline(self):
         one = run_dynamic_flow(

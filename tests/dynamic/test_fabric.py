@@ -1,0 +1,131 @@
+"""FabricState: gate/region unit arithmetic, sharing, static-power split."""
+
+import pytest
+
+from repro.dynamic.fabric import FabricState
+from repro.platform import MIPS_200MHZ
+from repro.synth.synthesizer import HwKernel
+
+
+def kernel(area, name="k", header=0x400000):
+    return HwKernel(
+        name=name, header_address=header, area_gates=area, clock_mhz=100.0,
+        schedule_length=3, ii=1, localized=False, bram_bytes=0,
+        iterations_multiplier=1, pipelined=True,
+    )
+
+
+class _Owner:
+    """Stand-in for a controller (owners are identity-keyed)."""
+
+
+class TestMonolithic:
+    def test_units_are_gates(self):
+        fabric = FabricState(MIPS_200MHZ)
+        assert fabric.region_count == 0
+        assert fabric.total_units == MIPS_200MHZ.capacity_gates
+        assert fabric.units_for(kernel(5_000.0)) == 5_000.0
+
+    def test_place_reports_one_changed_region_per_kernel(self):
+        fabric = FabricState(MIPS_200MHZ)
+        owner = _Owner()
+        assert fabric.place(owner, 0x400000, kernel(5_000.0)) == 1
+        assert fabric.area_used() == 5_000.0
+        assert fabric.free_units() == MIPS_200MHZ.capacity_gates - 5_000.0
+
+    def test_evict_frees_area(self):
+        fabric = FabricState(MIPS_200MHZ)
+        owner = _Owner()
+        fabric.place(owner, 0x400000, kernel(5_000.0))
+        fabric.evict(owner, 0x400000)
+        assert fabric.area_used() == 0.0
+        assert fabric.units_of(owner, 0x400000) == 0.0
+
+    def test_evict_absent_is_noop(self):
+        fabric = FabricState(MIPS_200MHZ)
+        fabric.evict(_Owner(), 0x400000)
+        assert fabric.area_used() == 0.0
+
+
+class TestRegions:
+    PLATFORM = MIPS_200MHZ.with_regions(8)
+
+    def test_units_are_regions(self):
+        fabric = FabricState(self.PLATFORM)
+        region_gates = self.PLATFORM.capacity_gates / 8
+        assert fabric.total_units == 8
+        # sub-region kernels round up to one whole region
+        assert fabric.units_for(kernel(1.0)) == 1
+        assert fabric.units_for(kernel(region_gates)) == 1
+        assert fabric.units_for(kernel(region_gates + 1.0)) == 2
+        assert fabric.units_for(kernel(self.PLATFORM.capacity_gates)) == 8
+
+    def test_reconfig_charge_is_per_changed_region(self):
+        fabric = FabricState(self.PLATFORM)
+        owner = _Owner()
+        region_gates = self.PLATFORM.capacity_gates / 8
+        assert fabric.place(owner, 0x400000, kernel(2.5 * region_gates)) == 3
+        assert fabric.regions_used() == 3
+        assert fabric.free_units() == 5
+
+    def test_quantization_limits_capacity(self):
+        # 8 one-gate kernels fill all 8 regions even though their summed
+        # area is negligible: internal fragmentation is the point
+        fabric = FabricState(self.PLATFORM)
+        owner = _Owner()
+        for i in range(8):
+            assert fabric.units_for(kernel(1.0)) <= fabric.free_units()
+            fabric.place(owner, 0x400000 + 4 * i, kernel(1.0))
+        assert fabric.free_units() == 0
+        assert fabric.units_for(kernel(1.0)) > fabric.free_units()
+
+    def test_with_regions_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MIPS_200MHZ.with_regions(-2)
+        # 0 is the explicit monolithic spelling
+        assert MIPS_200MHZ.with_regions(0).fabric_regions == 0
+
+    def test_peak_watermarks(self):
+        fabric = FabricState(self.PLATFORM)
+        owner = _Owner()
+        region_gates = self.PLATFORM.capacity_gates / 8
+        fabric.place(owner, 0x400000, kernel(2 * region_gates))
+        fabric.place(owner, 0x400004, kernel(region_gates))
+        fabric.evict(owner, 0x400000)
+        assert fabric.peak_regions == 3
+        assert fabric.peak_area_gates == pytest.approx(3 * region_gates)
+
+
+class TestSharing:
+    def test_owner_isolation(self):
+        fabric = FabricState(MIPS_200MHZ)
+        a, b = _Owner(), _Owner()
+        fabric.place(a, 0x400000, kernel(5_000.0))
+        fabric.place(b, 0x400000, kernel(3_000.0))   # same address, other app
+        assert fabric.area_used(a) == 5_000.0
+        assert fabric.area_used(b) == 3_000.0
+        assert fabric.area_used() == 8_000.0
+        fabric.evict(a, 0x400000)
+        assert fabric.area_used(b) == 3_000.0
+
+    def test_release_drops_every_placement_of_one_owner(self):
+        fabric = FabricState(MIPS_200MHZ)
+        a, b = _Owner(), _Owner()
+        fabric.place(a, 0x400000, kernel(5_000.0))
+        fabric.place(a, 0x400040, kernel(1_000.0))
+        fabric.place(b, 0x400000, kernel(3_000.0))
+        fabric.release(a)
+        assert fabric.area_used(a) == 0.0
+        assert fabric.area_used() == 3_000.0
+
+    def test_static_share_apportioned_by_area(self):
+        fabric = FabricState(MIPS_200MHZ)
+        a, b = _Owner(), _Owner()
+        assert fabric.static_share(a) == 0.0       # power-gated fabric
+        fabric.place(a, 0x400000, kernel(6_000.0))
+        assert fabric.static_share(a) == 1.0       # sole occupant pays all
+        fabric.place(b, 0x400000, kernel(2_000.0))
+        assert fabric.static_share(a) == pytest.approx(0.75)
+        assert fabric.static_share(b) == pytest.approx(0.25)
+        # the shares of all occupants always sum to one fabric
+        assert fabric.static_share(a) + fabric.static_share(b) == pytest.approx(1.0)

@@ -109,6 +109,126 @@ class TestSampleHook:
             assert src == exe.text_base + 4 * index
 
 
+class TestAdaptiveInterval:
+    """A callback's return value sets the next chunk's sample interval
+    (phase-adaptive profiling), on both engines and on the generator twin."""
+
+    def test_return_value_resizes_next_chunk(self, engine):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True, engine=engine)
+        boundaries = []
+
+        def on_sample(counts, taken):
+            boundaries.append(sum(counts))
+            return 2_000   # coarsen after the first sample
+
+        result = cpu.run(sample_interval=500, on_sample=on_sample)
+        assert boundaries[0] == 500
+        # every later boundary is 2000 instructions after the previous one
+        for before, after in zip(boundaries[:-1], boundaries[1:-1]):
+            assert after - before == 2_000
+        assert boundaries[-1] == result.steps
+
+    def test_none_keeps_interval(self, engine):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True, engine=engine)
+        boundaries = []
+        cpu.run(sample_interval=750, on_sample=lambda c, t: boundaries.append(sum(c)))
+        for before, after in zip(boundaries[:-1], boundaries[1:-1]):
+            assert after - before == 750
+
+    def test_adaptive_run_preserves_results(self, engine):
+        exe = _exe()
+        plain = Cpu(exe, profile=True, engine=engine).run()
+        adaptive_cpu = Cpu(exe, profile=True, engine=engine)
+        intervals = iter([100, 400, 1600, 6400] * 1000)
+        adaptive = adaptive_cpu.run(
+            sample_interval=50, on_sample=lambda c, t: next(intervals)
+        )
+        assert plain.steps == adaptive.steps
+        assert plain.cycles == adaptive.cycles
+        assert plain.pc_counts == adaptive.pc_counts
+
+
+class TestRunSampledGenerator:
+    """``run_sampled`` is the generator twin of ``run`` + ``on_sample``:
+    same boundaries, same counters, same final result -- it exists so an
+    external driver (the multi-application round-robin) can interleave
+    several CPUs at sampling granularity."""
+
+    def _callback_trace(self, engine, interval, feed=None):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True, engine=engine)
+        trace = []
+        supply = iter(feed) if feed is not None else None
+
+        def on_sample(counts, taken):
+            trace.append((tuple(counts), tuple(taken)))
+            return next(supply) if supply is not None else None
+
+        result = cpu.run(sample_interval=interval, on_sample=on_sample)
+        return trace, result
+
+    def _generator_trace(self, engine, interval, feed=None):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True, engine=engine)
+        generator = cpu.run_sampled(sample_interval=interval)
+        supply = iter(feed) if feed is not None else None
+        trace = []
+        try:
+            payload = next(generator)
+            while True:
+                trace.append((tuple(payload[0]), tuple(payload[1])))
+                sent = next(supply) if supply is not None else None
+                payload = generator.send(sent)
+        except StopIteration as stop:
+            return trace, stop.value
+
+    @pytest.mark.parametrize("interval", [97, 1000])
+    def test_matches_callback_run_exactly(self, engine, interval):
+        expected_trace, expected = self._callback_trace(engine, interval)
+        got_trace, got = self._generator_trace(engine, interval)
+        assert expected_trace == got_trace
+        assert expected.steps == got.steps
+        assert expected.cycles == got.cycles
+        assert expected.pc_counts == got.pc_counts
+        assert expected.edge_counts == got.edge_counts
+
+    def test_send_resizes_like_return_value(self, engine):
+        feed = [500, 1000, 2000, 4000, 8000] * 100
+        expected_trace, expected = self._callback_trace(engine, 250, feed)
+        got_trace, got = self._generator_trace(engine, 250, feed)
+        assert expected_trace == got_trace
+        assert expected.steps == got.steps
+        assert expected.cycles == got.cycles
+
+    def test_rejects_nonpositive_interval(self, engine):
+        from repro.errors import SimulationError
+
+        exe = _exe()
+        cpu = Cpu(exe, engine=engine)
+        with pytest.raises(SimulationError):
+            next(cpu.run_sampled(sample_interval=0))
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, True, "soon", [1]],
+                             ids=["negative", "float", "bool", "str", "list"])
+    def test_rejects_bad_interval_overrides(self, engine, bad):
+        # a negative override would spin the dispatch loop forever on
+        # zero-instruction chunks; non-integers would crash mid-run --
+        # both are rejected at the boundary with a clear error, via
+        # send() and via an on_sample return value alike
+        from repro.errors import SimulationError
+
+        generator = Cpu(_exe(), engine=engine).run_sampled(sample_interval=500)
+        next(generator)
+        with pytest.raises(SimulationError, match="override"):
+            generator.send(bad)
+        with pytest.raises(SimulationError, match="override"):
+            Cpu(_exe(), engine=engine).run(
+                sample_interval=500, on_sample=lambda c, t: bad
+            )
+
+
 class TestCrossEngineSampling:
     """The superblock engine must sample exactly like the threaded one.
 

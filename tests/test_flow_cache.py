@@ -1,6 +1,8 @@
 """On-disk flow-report cache: hits, misses, keys, and the kill switch."""
 
+import os
 import pickle
+import time
 
 import pytest
 
@@ -53,6 +55,54 @@ class TestCacheRoundTrip:
         run_flows([_job()], max_workers=1)
         assert flow_cache.clear() == 1
         assert not list((cache_dir / "flow").glob("*.pkl"))
+
+
+class TestTmpSweep:
+    """Crashed writers leak ``*.tmp`` scratch files; the cache reaps them."""
+
+    @staticmethod
+    def _plant_tmp(directory, name, age_seconds):
+        directory.mkdir(parents=True, exist_ok=True)
+        orphan = directory / name
+        orphan.write_bytes(b"half-written pickle")
+        stamp = time.time() - age_seconds
+        os.utime(orphan, (stamp, stamp))
+        return orphan
+
+    def test_clear_removes_tmp_files_regardless_of_age(self, cache_dir):
+        flow = cache_dir / "flow"
+        run_flows([_job()], max_workers=1)
+        fresh = self._plant_tmp(flow, "fresh.tmp", age_seconds=0)
+        stale = self._plant_tmp(flow, "stale.tmp", age_seconds=7200)
+        assert flow_cache.clear() == 3   # 1 pkl + 2 tmp
+        assert not fresh.exists() and not stale.exists()
+        assert not list(flow.glob("*"))
+
+    def test_store_report_reaps_stale_tmp(self, cache_dir):
+        flow = cache_dir / "flow"
+        stale = self._plant_tmp(flow, "crashed-writer.tmp", age_seconds=7200)
+        run_flows([_job()], max_workers=1)   # stores a report -> sweeps
+        assert not stale.exists()
+        assert len(list(flow.glob("*.pkl"))) == 1
+
+    def test_store_report_spares_recent_tmp(self, cache_dir):
+        # a young .tmp may belong to a concurrent writer mid-publish:
+        # hands off
+        flow = cache_dir / "flow"
+        fresh = self._plant_tmp(flow, "inflight.tmp", age_seconds=10)
+        run_flows([_job()], max_workers=1)
+        assert fresh.exists()
+
+    def test_sweep_helper_counts_and_age_boundary(self, cache_dir):
+        flow = cache_dir / "flow"
+        self._plant_tmp(flow, "old-1.tmp", age_seconds=4000)
+        self._plant_tmp(flow, "old-2.tmp", age_seconds=3700)
+        self._plant_tmp(flow, "young.tmp", age_seconds=60)
+        assert flow_cache._sweep_stale_tmp(flow) == 2
+        assert [p.name for p in flow.glob("*.tmp")] == ["young.tmp"]
+
+    def test_sweep_missing_directory_is_noop(self, cache_dir):
+        assert flow_cache._sweep_stale_tmp(cache_dir / "flow") == 0
 
 
 class TestCacheKeys:
