@@ -9,21 +9,28 @@ trajectory future PRs can regress against:
 Reported numbers:
 
 * ``single_run`` -- raw simulation throughput (million instr/s) on a few
-  representative benchmarks, profiled and unprofiled, best of N runs.
-  The headline numbers are the default (superblock) engine; each entry
-  also carries the threaded engine's throughput and the resulting
-  superblock-vs-threaded speedup, so dispatch regressions are visible
-  without digging through history.
+  representative benchmarks, profiled and unprofiled, best of N runs
+  (``reps`` records N; the engines under comparison are interleaved
+  rep-by-rep so host drift cancels out of the speedup ratios).  The headline numbers are the default engine --
+  superblock dispatch with the trace tier on; each entry also carries
+  the block-tier-only and threaded throughputs plus the resulting
+  speedups, so dispatch regressions are visible without digging through
+  history.
+* ``tier_sweep`` -- per-benchmark block-tier vs trace-tier throughput
+  across the whole 20-benchmark suite, best of N each, with the geomean
+  ratio.  This is the trace tier's same-machine contribution on top of
+  whole-module block compilation.
 * ``sweep`` -- wall-clock seconds for the full 20-benchmark single-platform
   flow sweep (compile + simulate + decompile + partition + synthesize),
   serial and through the parallel runner.  The on-disk flow cache is
   bypassed so the numbers measure computation, not pickle loading.
 
 ``--smoke`` runs a fast host-independent regression gate instead: it
-compares the two engines on the same machine and fails (exit 1) when the
-superblock engine does not clearly beat threaded dispatch.  CI runs this
-on every push; absolute instr/s vary wildly across shared runners, the
-engine-vs-engine ratio does not.
+compares the trace tier against threaded dispatch on the same machine
+and fails (exit 1) below a 2x margin, then checks the trace tier
+actually installs traces and stays cycle-exact against the block tier.
+CI runs this on every push; absolute instr/s vary wildly across shared
+runners, the engine-vs-engine ratio does not.
 
 Earlier entries are preserved under ``history`` so the file carries the
 whole perf trajectory: seed (~0.96M instr/s on ``brev``, ~5.8 s serial
@@ -41,6 +48,8 @@ import sys
 import time
 from pathlib import Path
 
+import math
+
 from repro.compiler.driver import compile_source
 from repro.flow import FlowJob, run_flows
 from repro.programs import ALL_BENCHMARKS, get_benchmark
@@ -48,27 +57,89 @@ from repro.sim.cpu import Cpu
 
 SINGLE_RUN_BENCHMARKS = ["brev", "crc", "fir", "adpcm"]
 REPEATS = 9  # best-of-N; raised from 5 to damp shared-host noise
+SWEEP_REPEATS = 3  # best-of-N for the 20-benchmark tier sweep
 
-#: --smoke fails below this superblock/threaded ratio; the real margin is
-#: ~2-3x, so 1.4 only trips when block dispatch genuinely regressed
-SMOKE_MIN_SPEEDUP = 1.4
+#: --smoke fails below this traces/threaded ratio; the real margin is
+#: ~3-4x with the trace tier, so 2.0 only trips on a genuine regression
+SMOKE_MIN_SPEEDUP = 2.0
+
+#: the three dispatch tiers the harness compares
+TIERS = {
+    "threaded": {"engine": "threaded"},
+    "superblock": {"engine": "superblock", "trace_threshold": 0},
+    "traces": {"engine": "superblock", "trace_threshold": 1},
+}
 
 
-def time_single_run(name: str, profile: bool, engine: str = "superblock",
-                    repeats: int = REPEATS) -> dict:
+def time_configs(name: str, configs: dict[str, dict],
+                 repeats: int = REPEATS) -> dict[str, dict]:
+    """Interleaved best-of-N wall clock for one benchmark across configs.
+
+    Each round runs every config back-to-back (fresh Cpu per run, timing
+    ``run()`` only), so a host slowdown window hits all configs equally
+    and the engine-vs-engine *ratios* stay honest even when absolute
+    instr/s drift -- consecutive same-config reps would let drift land
+    on one side of a ratio.  The trace tier's per-executable build cache
+    makes its repetitions 2..N trace-warm, so best-of-N measures
+    steady-state dispatch, with the cold build cost visible only in
+    repetition 1.
+    """
     exe = compile_source(get_benchmark(name).source)
-    best = float("inf")
-    steps = 0
+    best = {key: float("inf") for key in configs}
+    steps = {key: 0 for key in configs}
     for _ in range(repeats):
-        cpu = Cpu(exe, profile=profile, engine=engine)
-        start = time.perf_counter()
-        result = cpu.run()
-        best = min(best, time.perf_counter() - start)
-        steps = result.steps
+        for key, cpu_kwargs in configs.items():
+            cpu = Cpu(exe, **cpu_kwargs)
+            start = time.perf_counter()
+            result = cpu.run()
+            best[key] = min(best[key], time.perf_counter() - start)
+            steps[key] = result.steps
     return {
-        "steps": steps,
-        "seconds": round(best, 6),
-        "mips": round(steps / best / 1e6, 3),
+        key: {
+            "steps": steps[key],
+            "seconds": round(best[key], 6),
+            "mips": round(steps[key] / best[key] / 1e6, 3),
+            "reps": repeats,
+        }
+        for key in configs
+    }
+
+
+def time_single_run(name: str, profile: bool = False,
+                    repeats: int = REPEATS, **cpu_kwargs) -> dict:
+    """Best-of-N for one benchmark under one Cpu config."""
+    kwargs = dict(cpu_kwargs, profile=profile)
+    return time_configs(name, {"run": kwargs}, repeats=repeats)["run"]
+
+
+def time_tier_sweep(repeats: int = SWEEP_REPEATS) -> dict:
+    """Per-benchmark throughput of the block tier vs the trace tier over
+    the whole 20-benchmark suite, with the geomean ratio."""
+    rows: dict[str, dict] = {}
+    ratios: list[float] = []
+    for bench in ALL_BENCHMARKS:
+        timed = time_configs(
+            bench.name,
+            {"blocks": TIERS["superblock"], "traces": TIERS["traces"]},
+            repeats=repeats,
+        )
+        blocks, traced = timed["blocks"], timed["traces"]
+        ratio = round(traced["mips"] / blocks["mips"], 3) \
+            if blocks["mips"] else 0.0
+        rows[bench.name] = {
+            "blocks_mips": blocks["mips"],
+            "traces_mips": traced["mips"],
+            "ratio": ratio,
+        }
+        ratios.append(ratio)
+    positive = [r for r in ratios if r > 0]
+    geomean = round(
+        math.exp(sum(math.log(r) for r in positive) / len(positive)), 3
+    ) if positive else 0.0
+    return {
+        "benchmarks": rows,
+        "geomean_traces_vs_blocks": geomean,
+        "reps": repeats,
     }
 
 
@@ -95,17 +166,35 @@ def run_smoke() -> int:
     """Fast engine-vs-engine regression gate for CI; returns an exit code."""
     failures = []
     for name in ("brev", "crc"):
-        fast = time_single_run(name, profile=False, engine="superblock", repeats=3)
-        slow = time_single_run(name, profile=False, engine="threaded", repeats=3)
+        timed = time_configs(
+            name, {"fast": TIERS["traces"], "slow": TIERS["threaded"]},
+            repeats=3,
+        )
+        fast, slow = timed["fast"], timed["slow"]
         speedup = fast["mips"] / slow["mips"] if slow["mips"] else 0.0
         status = "ok" if speedup >= SMOKE_MIN_SPEEDUP else "REGRESSED"
-        print(f"{name:8s} superblock {fast['mips']:7.2f}M  threaded "
+        print(f"{name:8s} traces {fast['mips']:7.2f}M  threaded "
               f"{slow['mips']:7.2f}M  ({speedup:.2f}x) {status}")
         if speedup < SMOKE_MIN_SPEEDUP:
             failures.append(name)
+    # the trace tier must actually engage and agree with the block tier
+    exe = compile_source(get_benchmark("brev").source)
+    traced_cpu = Cpu(exe, trace_threshold=1)
+    traced = traced_cpu.run()
+    blocks = Cpu(exe, trace_threshold=0).run()
+    installed = len(traced_cpu.traces)
+    covered = sum(t.instructions for t in traced_cpu.traces)
+    print(f"brev     trace tier: {installed} traces, "
+          f"{100 * covered // max(1, traced.steps)}% in-trace")
+    if not installed:
+        print("smoke FAILED: trace tier built no traces on brev")
+        failures.append("brev-traces")
+    if traced.steps != blocks.steps or traced.cycles != blocks.cycles:
+        print("smoke FAILED: trace tier disagrees with block tier on brev")
+        failures.append("brev-exactness")
     if failures:
-        print(f"smoke FAILED: superblock dispatch below {SMOKE_MIN_SPEEDUP}x "
-              f"threaded on: {', '.join(failures)}")
+        print(f"smoke FAILED ({', '.join(failures)}); gate is "
+              f"{SMOKE_MIN_SPEEDUP}x over threaded")
         return 1
     print("smoke passed")
     return 0
@@ -129,19 +218,28 @@ def main() -> None:
 
     single = {}
     for name in SINGLE_RUN_BENCHMARKS:
-        threaded = time_single_run(name, profile=False, engine="threaded")
-        row = {
-            "no_profile": time_single_run(name, profile=False),
-            "profile": time_single_run(name, profile=True),
-            "threaded_no_profile": threaded,
-        }
+        row = time_configs(name, {
+            "no_profile": TIERS["traces"],
+            "profile": dict(TIERS["traces"], profile=True),
+            "superblock_no_traces": TIERS["superblock"],
+            "threaded_no_profile": TIERS["threaded"],
+        })
         row["speedup_vs_threaded"] = round(
-            row["no_profile"]["mips"] / threaded["mips"], 2
+            row["no_profile"]["mips"] / row["threaded_no_profile"]["mips"], 2
+        )
+        row["speedup_vs_blocks"] = round(
+            row["no_profile"]["mips"] / row["superblock_no_traces"]["mips"], 2
         )
         single[name] = row
         print(f"{name:8s} {row['no_profile']['mips']:7.2f}M instr/s "
               f"({row['profile']['mips']:.2f}M profiled, "
-              f"{row['speedup_vs_threaded']:.2f}x over threaded)")
+              f"{row['speedup_vs_threaded']:.2f}x over threaded, "
+              f"{row['speedup_vs_blocks']:.2f}x over block tier)")
+
+    tier_sweep = time_tier_sweep()
+    print(f"tiers    {tier_sweep['geomean_traces_vs_blocks']:.3f}x geomean "
+          f"traces-vs-blocks across {len(tier_sweep['benchmarks'])} benchmarks "
+          f"(best of {tier_sweep['reps']})")
 
     serial = time_sweep(max_workers=1)
     print(f"sweep    {serial:7.2f}s serial (20 benchmarks, 200 MHz platform)")
@@ -157,8 +255,10 @@ def main() -> None:
     payload = {
         "benchmark": "sim_throughput",
         "cpu_count": workers,
-        "engine": "superblock",
+        "engine": "superblock+traces",
+        "reps": REPEATS,
         "single_run": single,
+        "tier_sweep": tier_sweep,
         "sweep": {
             "benchmarks": len(ALL_BENCHMARKS),
             "serial_seconds": serial,

@@ -66,9 +66,17 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     exe = _load(args.binary)
-    cpu, result = run_executable(exe, profile=args.profile, engine=args.engine)
+    cpu, result = run_executable(
+        exe, profile=args.profile, engine=args.engine,
+        trace_threshold=args.trace_threshold,
+    )
     print(f"halted: {result.halted}  instructions: {result.steps:,}  "
           f"cycles: {result.cycles:,}  CPI: {result.cpi:.2f}")
+    if args.trace_threshold and args.engine == "superblock":
+        traces = cpu.traces
+        covered = sum(t.instructions for t in traces)
+        print(f"traces: {len(traces)}  in-trace instructions: {covered:,} "
+              f"({100 * covered // max(1, result.steps)}%)")
     if args.read:
         for symbol in args.read:
             print(f"  {symbol} = {cpu.read_word_global_signed(symbol)}")
@@ -326,6 +334,9 @@ def main(argv=None) -> int:
                    help="dispatch engine (superblock is ~2-3x faster; "
                         "both are differentially tested against the "
                         "reference interpreter)")
+    p.add_argument("--trace-threshold", type=int, default=1, metavar="SPREES",
+                   help="dispatch sprees before the trace tier compiles hot "
+                        "paths (superblock engine only; 0 disables traces)")
     p.add_argument("--read", nargs="*", help="data symbols to print after the run")
     p.set_defaults(fn=cmd_run)
 

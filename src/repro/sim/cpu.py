@@ -14,13 +14,20 @@ Design notes:
   This is the classic threaded-code trade-off for an ISS written in pure
   Python and is worth ~5x over the old mnemonic-string dispatch chain.
 * On top of that table the default **superblock** engine
-  (:mod:`repro.sim.superblock`) fuses each straight-line run of
-  instructions into one generated Python function, so the dispatch loop
-  pays one call per basic block instead of per instruction -- roughly
-  another 2-3x.  The threaded table stays fully built either way: the
-  superblock loop falls back to it to single-step chunk tails (exact
-  sampling boundaries) and dynamic mid-block jump targets.  Select with
-  ``Cpu(exe, engine="threaded"|"superblock")``.
+  (:mod:`repro.sim.superblock`) compiles the whole program into one
+  generated Python module -- one function per basic block (with
+  unconditional ``j``/``jal`` chains fused into their targets) -- so the
+  dispatch loop pays one call per block or chain instead of per
+  instruction.  After ``trace_threshold`` dispatch sprees it adds a
+  **trace tier**: the hottest taken-branch paths become multi-block
+  generated traces with guarded side exits, and hot loops run many
+  iterations inside a single call; counters proven cold are spilled out
+  of the fold scan (``spill_after``) and reheat transparently.  The
+  threaded table stays fully built either way: the superblock loop
+  falls back to it to single-step chunk tails (exact sampling
+  boundaries) and dynamic mid-block jump targets.  Select with
+  ``Cpu(exe, engine="threaded"|"superblock")``; ``trace_threshold=0``
+  keeps the block tier only.
 * Statistics are *derived*, not collected: the loop maintains one
   per-instruction execution counter; branch executors bump a per-site
   taken counter.  ``steps``, ``cycles``, ``pc_counts``, ``mix`` and the
@@ -83,6 +90,10 @@ __all__ = [
 
 #: mnemonic -> timing class, derived from the ISA spec table.
 _MNEMONIC_CLASS = {mnem: spec.klass for mnem, spec in SPECS.items()}
+
+#: trace-tier warmup runs at most this many incremental build rounds
+#: (checkpoints past ``trace_threshold``) before sprees go unbounded
+_WARMUP_BUILDS = 8
 
 
 class _Halt(Exception):
@@ -149,16 +160,39 @@ class Cpu:
         cpi: CpiModel | None = None,
         profile: bool = False,
         engine: str = "superblock",
+        trace_threshold: int = 1,
+        spree_size: int = 32768,
+        spill_after: int = 8,
     ):
         if engine not in ("superblock", "threaded"):
             raise ValueError(
                 f"unknown engine {engine!r}; expected 'superblock' or 'threaded'"
+            )
+        if not isinstance(trace_threshold, int) or isinstance(trace_threshold, bool) \
+                or trace_threshold < 0:
+            raise ValueError(
+                f"trace_threshold must be a non-negative integer (0 disables "
+                f"the trace tier), got {trace_threshold!r}"
+            )
+        if not isinstance(spree_size, int) or isinstance(spree_size, bool) \
+                or spree_size < 1:
+            raise ValueError(
+                f"spree_size must be a positive integer, got {spree_size!r}"
+            )
+        if not isinstance(spill_after, int) or isinstance(spill_after, bool) \
+                or spill_after < 0:
+            raise ValueError(
+                f"spill_after must be a non-negative integer (0 disables the "
+                f"cold-counter spill), got {spill_after!r}"
             )
         self.exe = exe
         self.memory = memory if memory is not None else Memory()
         self._cpi = cpi if cpi is not None else CpiModel()
         self._profile = profile
         self._engine = engine
+        self._trace_threshold = trace_threshold
+        self._spree_size = spree_size
+        self._spill_after = spill_after
         load_into_memory(exe, self.memory)
         self._decoded = [decode(word) for word in exe.text_words]
         self.regs = [0] * 32
@@ -172,7 +206,8 @@ class Cpu:
         self._dyn_edges: dict[tuple[int, int], int] = {}
         self._build_table()
         if engine == "superblock":
-            # deferred import: superblock.py imports _Halt from this module
+            # deferred import: the superblock package imports _Halt from
+            # this module
             from repro.sim.superblock import SuperblockTable
 
             self._sb = SuperblockTable(self)
@@ -206,6 +241,18 @@ class Cpu:
         if self._sb is None:
             raise SimulationError("superblocks require engine='superblock'")
         return self._sb.blocks
+
+    @property
+    def traces(self) -> tuple:
+        """Installed hot-path traces, as :class:`TraceInfo` handles.
+
+        Empty until the dispatch loop has run ``trace_threshold`` sprees
+        on a program hot enough to plan traces from (and always empty
+        with ``trace_threshold=0``, which disables the tier).
+        """
+        if self._sb is None:
+            raise SimulationError("traces require engine='superblock'")
+        return tuple(self._sb.traces)
 
     # Static control-transfer sites, exposed for online profilers: maps of
     # instruction index -> (source pc, target pc).  Branch edges count via
@@ -825,34 +872,85 @@ class Cpu:
     def _run_superblock(
         self, index: int, counts: list[int], max_steps: int,
     ) -> tuple[int, bool]:
-        """One generated-function call per basic block.
+        """One generated-function call per unit (block, chain, or trace).
 
         Unchunked only (sampling runs go through :meth:`run_sampled`,
         which single-steps chunk tails through the threaded handlers so
-        boundaries land on the exact instruction).  Per-block entry
+        boundaries land on the exact instruction).  Per-unit entry
         counters are folded into *counts* at every observation point,
         never mid-spree.
+
+        Budget-free dispatch sprees: a run of ``remaining // call_bound``
+        calls cannot overshoot *max_steps* (no call executes more than
+        ``call_bound`` instructions), so the hot loop carries no budget
+        arithmetic at all.  While the trace tier is warming up, sprees
+        are capped at ``spree_size // call_bound`` calls -- an
+        *instruction* budget, so checkpoints come quickly for big-block
+        and small-block programs alike:
+        each one folds the counters, re-derives the executed count, and
+        -- from ``trace_threshold`` sprees on -- runs an incremental
+        trace build from the folded profile.  Warmup ends once the trace
+        table is full or after a few build rounds; sprees then grow back
+        to the full remaining budget, so steady state pays one fold per
+        run just like the blocks-only tier (and exactly that when
+        ``trace_threshold=0`` disables warmup outright).  Halting
+        programs rarely exhaust warmup; a runaway one finishes with an
+        exact single-stepped tail, so *max_steps* semantics stay
+        bit-identical with the threaded loop.
         """
         sb = self._sb
         sb.reset()
         materialize = sb.materialize
         handlers = self._handlers
         halted = False
+        trace_after = self._trace_threshold
+        spree_cap = self._spree_size
+        sprees = 0
+        builds = 0
+        disp_total = 0
+        executed = 0
+        # cache-warm tables (traces replayed at construction from an
+        # earlier run on the same executable) skip warmup outright
+        warmup = trace_after > 0 and not sb.traces_built
         try:
-            # Budget-free dispatch sprees: any run of remaining//L block
-            # calls cannot overshoot max_steps (every block executes at
-            # most L instructions), so the hot loop carries no budget
-            # arithmetic at all.  Halting programs never even reach the
-            # first checkpoint; a runaway one re-derives the executed
-            # count from the counters and finishes with an exact
-            # single-stepped tail, so max_steps semantics stay
-            # bit-identical with the threaded loop.
             fns = sb.fns
-            longest = sb.max_block_len
             remaining = max_steps
-            while remaining >= longest:
-                for _ in repeat(None, remaining // longest):
+            while remaining >= sb.call_bound:
+                dispatches = remaining // sb.call_bound
+                if warmup:
+                    # spree_size is an *instruction* budget.  The first
+                    # spree sizes against the worst case (call_bound);
+                    # later ones use the measured per-dispatch average,
+                    # so checkpoints pace evenly whether dispatches run
+                    # 3 instructions or 300
+                    if disp_total:
+                        cap = spree_cap * disp_total // executed or 1
+                    else:
+                        cap = spree_cap // sb.call_bound or 1
+                    if dispatches > cap:
+                        dispatches = cap
+                for _ in repeat(None, dispatches):
                     fn = fns[index]
+                    if fn is None:
+                        fn = materialize(index)[1]
+                    index = fn()
+                sb.fold_into(counts)
+                sprees += 1
+                disp_total += dispatches
+                executed = sum(counts)
+                if warmup and sprees >= trace_after:
+                    builds += 1
+                    if not sb.build_traces(counts) or builds >= _WARMUP_BUILDS:
+                        warmup = False
+                remaining = max_steps - executed
+            # wind-down: traces raise call_bound to ~TRACE_CAP, which
+            # would leave a long single-stepped tail; dispatch the gap
+            # through the unit tier (``entries`` never holds traces)
+            entries = sb.entries
+            while remaining >= sb.unit_bound:
+                for _ in repeat(None, remaining // sb.unit_bound):
+                    entry = entries[index]
+                    fn = entry[1]
                     if fn is None:
                         fn = materialize(index)[1]
                     index = fn()
@@ -925,8 +1023,15 @@ def run_executable(
     max_steps: int = 100_000_000,
     cpi: CpiModel | None = None,
     engine: str = "superblock",
+    trace_threshold: int = 1,
+    spree_size: int = 32768,
+    spill_after: int = 8,
 ) -> tuple[Cpu, RunResult]:
     """Convenience: build a CPU for *exe*, run to halt, return (cpu, result)."""
-    cpu = Cpu(exe, cpi=cpi, profile=profile, engine=engine)
+    cpu = Cpu(
+        exe, cpi=cpi, profile=profile, engine=engine,
+        trace_threshold=trace_threshold, spree_size=spree_size,
+        spill_after=spill_after,
+    )
     result = cpu.run(max_steps=max_steps)
     return cpu, result

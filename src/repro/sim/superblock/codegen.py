@@ -1,68 +1,45 @@
-"""Superblock dispatch: basic blocks fused into generated Python functions.
+"""Code generation for superblock units: blocks, j-chains, and traces.
 
-The threaded-code interpreter in :mod:`repro.sim.cpu` pays one closure call
-per *instruction*.  This module translates each straight-line run of
-instructions (a basic block: it ends at a branch, ``j``/``jal``, ``jr``/
-``jalr``, ``break``/``syscall``, or immediately before another block's
-leader) into **one generated Python function**, so the dispatch loop pays
-one call per *block*:
+Every generated function mirrors the threaded executor closures exactly
+-- same masking, same "writes to $zero are dropped but their memory
+reads still happen" rule, same link-before-read ``jalr`` semantics --
+because three copies of the ISA semantics coexist (reference
+interpreter, threaded closures, these templates) and the differential
+suite requires bit-identical statistics from all of them.
 
-    n, fn = entries[index]
-    index = fn()
+Key pieces:
 
-Design notes:
+* **Block-local register JIT** (:class:`_BlockEnv`).  Within one unit,
+  registers touched more than once are shadowed by Python locals
+  (``x9`` for ``$9``) with *deferred write-back*: loads of ``R[n]`` are
+  emitted lazily at first read, stores are batched and flushed only at
+  the points where the architectural file is observable -- before any
+  statement that can raise (memory accesses, the ``jr``/``jalr`` target
+  check, ``break``/``syscall``) and at unit exit.  Dead intermediate
+  writes therefore never touch ``R`` at all.  On top of that the
+  generator propagates literals: reads of ``$zero`` fold to ``0``,
+  ``lui``/``ori``/``addiu`` constants fold into the consuming
+  expressions, and fully-constant ALU results are computed at
+  generation time.  The folds rely on the canonical-u32 invariant:
+  every value stored in ``R`` is already masked to 32 bits, so
+  ``x & 0xFFFFFFFF`` is the identity on register reads.
+* **Multi-segment units** (:meth:`Codegen.emit_unit`).  A unit is a
+  list of ``(start, length)`` block segments emitted back to back; a
+  non-final segment must end in an unconditional ``j``/``jal`` whose
+  static target starts the next segment (j-chain fusion), so the fused
+  jump costs a link write at most -- no dispatch, no flush.  The
+  register JIT spans the whole chain.
+* **Side-exit support for traces** (:meth:`Codegen.branch_condition`,
+  :meth:`_BlockEnv.peek_flush`).  Traces guard mid-path branches and
+  must leave the register file architecturally exact on the exit path
+  *without* disturbing the deferred-write state of the hot
+  continuation; ``peek_flush`` emits the write-backs but keeps the
+  dirty set.
 
-* **Block formation.**  Leaders are the entry index, every instruction
-  after a control transfer, every static branch/jump target, and every
-  data word that looks like a text address (the compiler's switch jump
-  tables live in ``.data`` as little-endian word arrays of case-target
-  addresses, so this scan guarantees jump-table targets start a block).
-  The leader set only affects *performance*: a register-indirect jump
-  into the middle of a block -- possible in principle for hand-written
-  assembly -- lazily materializes a suffix block starting at that index,
-  so correctness never depends on the discovery heuristics.
-* **Exact statistics.**  Every generated function starts by bumping a
-  per-block entry counter; at every observation point (sampling-hook
-  chunk boundary, halt) the deltas are folded into the per-instruction
-  ``counts`` array the rest of the simulator derives its statistics
-  from.  A block either runs to its end or raises an exception that
-  aborts/halts the run *at its last instruction* (``break``/``syscall``
-  and the ``jr`` target check are always block terminators), so the
-  entry count is an exact execution count for every member instruction.
-  Branch-taken counts and ``jr``/``jalr`` dynamic edges are recorded
-  inline, exactly like the threaded executors do.
-* **Exact step budgets.**  The dispatch loop only runs a block when it
-  fits in the remaining instruction budget of the current chunk;
-  otherwise it falls back to the per-instruction threaded handlers for
-  the tail.  Sampling callbacks therefore fire at *exactly* the same
-  instruction counts as the threaded engine -- mid-block boundaries
-  included -- and ``max_steps`` semantics are bit-identical.
-* **Block-local register JIT.**  Within one block, registers touched
-  more than once are shadowed by Python locals (``x9`` for ``$9``) with
-  *deferred write-back*: loads of ``R[n]`` are emitted lazily at first
-  read, stores are batched and flushed only at the points where the
-  architectural file is observable -- before any statement that can
-  raise (memory accesses, the ``jr``/``jalr`` target check, ``break``/
-  ``syscall``) and at block exit.  Dead intermediate writes therefore
-  never touch ``R`` at all.  On top of that the generator propagates
-  literals: reads of ``$zero`` fold to ``0``, ``lui``/``ori``/``addiu``
-  constants fold into the consuming expressions, and fully-constant
-  ALU results are computed at generation time.  The folds rely on the
-  canonical-u32 invariant: every value stored in ``R`` is already
-  masked to 32 bits (the decoder zero-extends logical immediates, every
-  executor masks its result), so ``x & 0xFFFFFFFF`` is the identity on
-  register reads.
-* **Three copies of the ISA semantics** now exist: the reference
-  interpreter (:mod:`repro.sim.reference`), the threaded executor
-  closures, and the code templates below.  That is deliberate and is
-  what ``tests/sim/test_differential.py`` exists for: the three engines
-  must produce bit-identical :class:`~repro.sim.cpu.RunResult` stats on
-  every benchmark and on randomized programs.
-
-Generated code uses short closure names bound once per ``Cpu``:
-``R`` registers, ``T`` per-site branch-taken counters, ``BC`` per-block
-entry counters, ``HL`` hi/lo, ``DE`` dynamic-edge dict, ``r8``..``w32``
-memory accessors, ``Halt``/``Err`` the exception types.
+Generated code uses short names bound once per ``Cpu``: ``R`` registers,
+``T`` per-site branch-taken counters, ``BC`` per-unit entry counters,
+``HL`` hi/lo, ``DE`` dynamic-edge dict, ``r8``..``w32`` memory
+accessors, ``Halt``/``Err`` the exception types.
 """
 
 from __future__ import annotations
@@ -70,17 +47,9 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.errors import SimulationError
-from repro.sim.cpu import _Halt
+from repro.sim.superblock.leaders import BRANCHES, CONTROL_TRANSFERS
 
-__all__ = ["CONTROL_TRANSFERS", "SuperblockTable", "find_leaders"]
-
-#: a superblock never continues past one of these
-CONTROL_TRANSFERS = frozenset((
-    "beq", "bne", "blez", "bgtz", "bltz", "bgez",
-    "j", "jal", "jr", "jalr", "break", "syscall",
-))
-
-_BRANCHES = frozenset(("beq", "bne", "blez", "bgtz", "bltz", "bgez"))
+__all__ = ["Codegen", "_BlockEnv", "_MAY_FAULT", "_read_regs", "_written_reg"]
 
 #: memory accessors can raise MemoryFault, so the register file must be
 #: architecturally exact before each of these executes
@@ -143,9 +112,9 @@ def _written_reg(instr) -> int:
 
 
 class _BlockEnv:
-    """Register-file state during code generation of one block.
+    """Register-file state during code generation of one unit.
 
-    Tracks, per architectural register: whether it is shadowed by a block
+    Tracks, per architectural register: whether it is shadowed by a unit
     local, whether its value is a known literal, and whether ``R`` is
     stale (a deferred write-back is pending).  ``read``/``write`` return
     and consume source fragments; ``flush`` emits the deferred stores.
@@ -196,225 +165,105 @@ class _BlockEnv:
 
     def flush(self) -> list[str]:
         """Deferred write-backs, making ``R`` architecturally exact."""
+        lines = self.peek_flush()
+        self.dirty.clear()
+        return lines
+
+    def peek_flush(self) -> list[str]:
+        """Like :meth:`flush` but keeps the dirty set.
+
+        Used on trace side exits: the exit path must write ``R`` back
+        before returning to the dispatch loop, while the hot
+        continuation -- a *different* runtime path through the same
+        generated text -- still owes the same write-backs later.
+        """
         lines = []
         for reg in sorted(self.dirty):
             value = self.known.get(reg)
             source = str(value) if value is not None else f"x{reg}"
             lines.append(f"R[{reg}] = {source}")
-        self.dirty.clear()
         return lines
 
 
-def find_leaders(decoded, text_base: int, text_len: int, data: bytes) -> set[int]:
-    """Indices that start a superblock.
+class Codegen:
+    """Stateless-per-unit emitter shared by blocks, chains, and traces."""
 
-    The union of: index 0, the successor of every control transfer, every
-    in-text static branch/jump target, and every word-aligned text address
-    found in the data section (jump-table case targets).
-    """
-    leaders: set[int] = {0} if text_len else set()
-    for index in range(text_len):
-        instr = decoded[index]
-        m = instr.mnemonic
-        if m not in CONTROL_TRANSFERS:
-            continue
-        if index + 1 < text_len:
-            leaders.add(index + 1)
-        if m in _BRANCHES:
-            target = index + 1 + instr.imm
-            if 0 <= target < text_len:
-                leaders.add(target)
-        elif m == "j" or m == "jal":
-            pc = text_base + (index << 2)
-            t_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
-            target = (t_pc - text_base) >> 2
-            if 0 <= target < text_len:
-                leaders.add(target)
-    text_end = text_base + (text_len << 2)
-    for offset in range(0, len(data) - 3, 4):
-        word = int.from_bytes(data[offset:offset + 4], "little")
-        if not word & 3 and text_base <= word < text_end:
-            leaders.add((word - text_base) >> 2)
-    return leaders
+    def __init__(self, decoded, text_base: int, text_len: int,
+                 profile: bool, escape_slots: dict[int, int]) -> None:
+        self.decoded = decoded
+        self.text_base = text_base
+        self.text_len = text_len
+        self.profile = profile
+        self.escape_slots = escape_slots
 
+    # -- whole units ---------------------------------------------------------
 
-class SuperblockTable:
-    """Block structure + generated block functions for one :class:`Cpu`.
+    def cache_env(self, segments) -> _BlockEnv:
+        """A :class:`_BlockEnv` caching registers the unit touches twice.
 
-    Public surface used by the dispatch loop:
-
-    * ``entries[index] -> (n, fn | None)`` -- suffix length and generated
-      function for every handler slot (escape slots reuse the threaded
-      escape handlers with length 1); ``fn is None`` marks a mid-block
-      index nobody has jumped to yet.
-    * :meth:`materialize` -- build the suffix block for such an index.
-    * :meth:`reset` / :meth:`fold_into` -- zero the per-block counters at
-      run start / fold their deltas into the per-instruction array.
-    * :attr:`blocks` -- the leader partition, for introspection and the
-      formation property tests.
-    """
-
-    def __init__(self, cpu) -> None:
-        self._cpu = cpu
-        self._decoded = cpu._decoded
-        self._text_base = cpu.exe.text_base
-        self._text_len = len(cpu._decoded)
-        self._profile = cpu.profile
-        self.leaders = find_leaders(
-            self._decoded, self._text_base, self._text_len, cpu.exe.data
-        )
-
-        # suffix_len[i]: instructions from i to the end of i's block
-        decoded = self._decoded
-        leaders = self.leaders
-        suffix = [1] * self._text_len
-        for i in range(self._text_len - 2, -1, -1):
-            if decoded[i].mnemonic in CONTROL_TRANSFERS or (i + 1) in leaders:
-                suffix[i] = 1
-            else:
-                suffix[i] = suffix[i + 1] + 1
-        self.suffix_len = suffix
-
-        #: per-block entry counters / fold watermarks / (start, length)
-        self.bcounts: list[int] = []
-        self._folded: list[int] = []
-        self.members: list[tuple[int, int]] = []
-
-        handlers = cpu._handlers
-        entries: list[tuple] = [(1, handlers[slot]) for slot in range(len(handlers))]
-        for i in range(self._text_len):
-            entries[i] = (suffix[i], None)
-        self.entries = entries
-        #: function-only view of ``entries`` for the budget-free dispatch
-        #: spree (escape slots resolve to the raising threaded handlers),
-        #: and the bound the spree sizing relies on
-        self.fns: list = [entry[1] for entry in entries]
-        self.max_block_len = max(suffix, default=1)
-
-        memory = cpu.memory
-        self._ns = {
-            "R": cpu.regs,
-            "T": cpu._taken,
-            "BC": self.bcounts,
-            "HL": cpu._hilo,
-            "DE": cpu._dyn_edges,
-            "r8": memory.read_u8,
-            "r16": memory.read_u16,
-            "r32": memory.read_u32,
-            "w8": memory.write_u8,
-            "w16": memory.write_u16,
-            "w32": memory.write_u32,
-            "Halt": _Halt,
-            "Err": SimulationError,
-        }
-        self._build_leader_blocks()
-
-    # -- public surface ----------------------------------------------------
-
-    @property
-    def blocks(self) -> list[tuple[int, int]]:
-        """The leader partition as (start index, length), sorted."""
-        return [(leader, self.suffix_len[leader]) for leader in sorted(self.leaders)]
-
-    def reset(self) -> None:
-        bcounts = self.bcounts
-        folded = self._folded
-        for i in range(len(bcounts)):
-            bcounts[i] = 0
-            folded[i] = 0
-
-    def fold_into(self, counts: list[int]) -> None:
-        """Fold per-block entry deltas into the per-instruction counters."""
-        bcounts = self.bcounts
-        folded = self._folded
-        members = self.members
-        for bid in range(len(bcounts)):
-            delta = bcounts[bid] - folded[bid]
-            if delta:
-                folded[bid] = bcounts[bid]
-                start, length = members[bid]
-                for i in range(start, start + length):
-                    counts[i] += delta
-
-    def materialize(self, index: int) -> tuple:
-        """Generate the suffix block for a dynamic jump to mid-block *index*."""
-        bid = self._new_bid(index, self.suffix_len[index])
-        source = "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):\n"
-        source += "\n".join(self._emit_function("_b", index, bid, "    ")) + "\n"
-        source += "    return _b\n"
-        namespace: dict = {}
-        exec(compile(source, f"<superblock@{index}>", "exec"), namespace)
-        entry = (self.suffix_len[index], namespace["_factory"](**self._ns))
-        self.entries[index] = entry
-        self.fns[index] = entry[1]
-        return entry
-
-    # -- construction ------------------------------------------------------
-
-    def _new_bid(self, start: int, length: int) -> int:
-        bid = len(self.members)
-        self.members.append((start, length))
-        self.bcounts.append(0)
-        self._folded.append(0)
-        return bid
-
-    def _build_leader_blocks(self) -> None:
-        """Generate one module containing a function per leader block."""
-        lines = [
-            "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):",
-            "    fns = {}",
-        ]
-        starts = sorted(self.leaders)
-        for start in starts:
-            bid = self._new_bid(start, self.suffix_len[start])
-            lines.extend(self._emit_function(f"_b{start}", start, bid, "    "))
-            lines.append(f"    fns[{start}] = _b{start}")
-        lines.append("    return fns")
-        source = "\n".join(lines) + "\n"
-        namespace: dict = {}
-        exec(compile(source, "<superblocks>", "exec"), namespace)
-        fns = namespace["_factory"](**self._ns)
-        for start, fn in fns.items():
-            self.entries[start] = (self.suffix_len[start], fn)
-            self.fns[start] = fn
-
-    # -- code generation ---------------------------------------------------
-
-    def _emit_function(self, name: str, start: int, bid: int, indent: str) -> list[str]:
-        length = self.suffix_len[start]
-        sequence = self._decoded[start:start + length]
-
-        # cache a register in a block local when the block touches it more
-        # than once; single-touch registers go straight to R (same cost)
+        Single-touch registers go straight to ``R`` (same cost); the
+        touch count spans *all* segments, so chain fusion widens the
+        caching window across the fused blocks.
+        """
+        decoded = self.decoded
         touches: Counter = Counter()
-        for instr in sequence:
-            for reg in _read_regs(instr):
-                touches[reg] += 1
-            target = _written_reg(instr)
-            if target:
-                touches[target] += 1
-        env = _BlockEnv({reg for reg, n in touches.items() if n >= 2})
+        for start, length in segments:
+            for instr in decoded[start:start + length]:
+                for reg in _read_regs(instr):
+                    touches[reg] += 1
+                target = _written_reg(instr)
+                if target:
+                    touches[target] += 1
+        return _BlockEnv({reg for reg, n in touches.items() if n >= 2})
 
+    def emit_unit(self, name: str, segments, bid: int, indent: str) -> list[str]:
+        """One generated function covering *segments* back to back.
+
+        A single-element segment list is a plain superblock; multiple
+        segments form a j-chain whose non-final segments end in an
+        unconditional ``j``/``jal`` to the next segment's start (the
+        jump is fused away, ``jal`` keeps its link write).  One ``BC``
+        bump covers the whole unit; the fold expands it over every
+        member instruction.
+        """
+        decoded = self.decoded
+        env = self.cache_env(segments)
         lines = [f"{indent}def {name}():", f"{indent}    BC[{bid}] += 1"]
         body = indent + "    "
-        for offset, instr in enumerate(sequence):
-            m = instr.mnemonic
-            if m in CONTROL_TRANSFERS:
-                stmts = self._emit_terminator(instr, start + offset, env)
-            else:
-                # flush *before* emitting a faulting instruction, so the
-                # write-backs cover only the instructions already executed
-                # (this instruction's own write must not be flushed yet)
-                flush = env.flush() if m in _MAY_FAULT else []
-                emitted = self._emit_straightline(instr, env)
-                stmts = env.take_pending() + flush + emitted
-            lines.extend(body + stmt for stmt in stmts)
-        if sequence[-1].mnemonic not in CONTROL_TRANSFERS:
+        last_seg = len(segments) - 1
+        for seg_no, (start, length) in enumerate(segments):
+            for offset in range(length):
+                index = start + offset
+                instr = decoded[index]
+                m = instr.mnemonic
+                if m in CONTROL_TRANSFERS:
+                    if seg_no == last_seg:
+                        stmts = self.terminator(instr, index, env)
+                    else:
+                        # fused unconditional jump: no dispatch, no flush;
+                        # jal still owes its (deferrable) link write
+                        stmts = []
+                        if m == "jal":
+                            pc = self.text_base + (index << 2)
+                            stmts = env.write(31, None, pc + 4)
+                else:
+                    # flush *before* emitting a faulting instruction, so
+                    # the write-backs cover only the instructions already
+                    # executed (this instruction's own write must not be
+                    # flushed yet)
+                    flush = env.flush() if m in _MAY_FAULT else []
+                    emitted = self.straightline(instr, env)
+                    stmts = env.take_pending() + flush + emitted
+                lines.extend(body + stmt for stmt in stmts)
+        final_start, final_len = segments[-1]
+        if decoded[final_start + final_len - 1].mnemonic not in CONTROL_TRANSFERS:
             lines.extend(body + stmt for stmt in env.flush())
-            lines.append(f"{body}return {start + length}")
+            lines.append(f"{body}return {final_start + final_len}")
         return lines
 
-    def _addr(self, env: _BlockEnv, rs: int, imm: int) -> str:
+    # -- pieces --------------------------------------------------------------
+
+    def addr(self, env: _BlockEnv, rs: int, imm: int) -> str:
         """Effective-address expression ``(R[rs] + imm) & M``, folded."""
         base, value = env.read(rs)
         if value is not None:
@@ -423,13 +272,45 @@ class SuperblockTable:
             return base
         return f"({base} + {imm}) & {_M}"
 
-    def _emit_straightline(self, instr, env: _BlockEnv) -> list[str]:
+    def branch_condition(self, instr, env: _BlockEnv) -> tuple[list[str], str, str]:
+        """(prelude lines, taken condition, not-taken condition) for a branch.
+
+        Constant operands fold to literal ``True``/``False`` conditions;
+        the ``blez``/``bgtz`` forms share a ``_v`` prelude because both
+        polarities need the value twice.
+        """
+        m = instr.mnemonic
+        a, av = env.read(instr.rs)
+        if m == "beq" or m == "bne":
+            b, bv = env.read(instr.rt)
+            if av is not None and bv is not None:
+                taken = av == bv if m == "beq" else av != bv
+                return [], str(taken), str(not taken)
+            eq, ne = f"{a} == {b}", f"{a} != {b}"
+            return ([], eq, ne) if m == "beq" else ([], ne, eq)
+        if av is not None:
+            signed = _s32(av)
+            taken = {
+                "blez": signed <= 0, "bgtz": signed > 0,
+                "bltz": signed < 0, "bgez": signed >= 0,
+            }[m]
+            return [], str(taken), str(not taken)
+        if m == "blez":
+            return ([f"_v = {a}"], "_v == 0 or _v & 0x80000000",
+                    "_v != 0 and not _v & 0x80000000")
+        if m == "bgtz":
+            return ([f"_v = {a}"], "_v != 0 and not _v & 0x80000000",
+                    "_v == 0 or _v & 0x80000000")
+        if m == "bltz":
+            return [], f"{a} & 0x80000000", f"not {a} & 0x80000000"
+        # bgez
+        return [], f"not {a} & 0x80000000", f"{a} & 0x80000000"
+
+    def straightline(self, instr, env: _BlockEnv) -> list[str]:
         """Statements for one non-control-transfer instruction.
 
-        Mirrors the threaded executor closures exactly, including the
-        "writes to $zero are dropped but their memory reads still happen"
-        rule.  Returns relative-indented source lines; lazy register
-        loads accumulate in ``env.pending``.
+        Returns relative-indented source lines; lazy register loads
+        accumulate in ``env.pending``.
         """
         m = instr.mnemonic
         rs, rt, rd = instr.rs, instr.rt, instr.rd
@@ -445,12 +326,12 @@ class SuperblockTable:
                 return env.write(rt, a)
             return env.write(rt, f"({a} + {imm}) & {_M}")
         if m == "lw":
-            address = self._addr(env, rs, imm)
+            address = self.addr(env, rs, imm)
             if rt:
                 return env.write(rt, f"r32({address})")
             return [f"r32({address})"]
         if m == "sw":
-            address = self._addr(env, rs, imm)
+            address = self.addr(env, rs, imm)
             return [f"w32({address}, {env.read(rt)[0]})"]
         if m in ("addu", "add", "subu", "sub", "and", "or", "xor", "nor",
                  "slt", "sltu"):
@@ -512,6 +393,15 @@ class SuperblockTable:
                 if av == 0:
                     # 0 < signed(b)  <=>  b in (0, 2^31)
                     return env.write(rd, f"1 if 0 < {b} < 0x80000000 else 0")
+                if bv is not None:
+                    # signed compare against a constant: one statement
+                    # (register reads are side-effect-free, so the
+                    # duplicated operand is safe)
+                    return env.write(rd, f"1 if ({a} - 0x100000000 if "
+                                         f"{a} & 0x80000000 else {a}) < {_s32(bv)} else 0")
+                if av is not None:
+                    return env.write(rd, f"1 if {_s32(av)} < ({b} - 0x100000000 if "
+                                         f"{b} & 0x80000000 else {b}) else 0")
                 return [
                     f"_a = {a}",
                     "if _a & 0x80000000:",
@@ -577,11 +467,8 @@ class SuperblockTable:
             if m == "slti":
                 if av is not None:
                     return env.write(rt, None, int(_s32(av) < imm))
-                return [
-                    f"_a = {a}",
-                    "if _a & 0x80000000:",
-                    "    _a -= 0x100000000",
-                ] + env.write(rt, f"1 if _a < {imm} else 0")
+                return env.write(rt, f"1 if ({a} - 0x100000000 if "
+                                     f"{a} & 0x80000000 else {a}) < {imm} else 0")
             if m == "sltiu":
                 if av is not None:
                     return env.write(rt, None, int(av < (imm & _MASK)))
@@ -600,7 +487,7 @@ class SuperblockTable:
             return env.write(rt, f"{a} ^ {imm}")
         if m in ("lb", "lbu", "lh", "lhu"):
             reader = "r8" if m in ("lb", "lbu") else "r16"
-            address = self._addr(env, rs, imm)
+            address = self.addr(env, rs, imm)
             if not rt:
                 return [f"{reader}({address})"]
             if m == "lb":
@@ -615,9 +502,9 @@ class SuperblockTable:
                 )
             return env.write(rt, f"r16({address})")  # lhu
         if m == "sb":
-            return [f"w8({self._addr(env, rs, imm)}, {env.read(rt)[0]})"]
+            return [f"w8({self.addr(env, rs, imm)}, {env.read(rt)[0]})"]
         if m == "sh":
-            return [f"w16({self._addr(env, rs, imm)}, {env.read(rt)[0]})"]
+            return [f"w16({self.addr(env, rs, imm)}, {env.read(rt)[0]})"]
         if m == "mult":
             return [
                 f"_a = {env.read(rs)[0]}",
@@ -674,7 +561,7 @@ class SuperblockTable:
             return [f"HL[1] = {env.read(rs)[0]}"]
         raise SimulationError(f"unimplemented mnemonic {m}")  # pragma: no cover
 
-    def _emit_terminator(self, instr, idx: int, env: _BlockEnv) -> list[str]:
+    def terminator(self, instr, idx: int, env: _BlockEnv) -> list[str]:
         """Statements for a control transfer; every path ends in return/raise.
 
         Terminators flush the deferred register write-backs themselves:
@@ -684,45 +571,20 @@ class SuperblockTable:
         written), ``break``/``syscall`` before raising.
         """
         m = instr.mnemonic
-        pc = self._text_base + (idx << 2)
+        pc = self.text_base + (idx << 2)
         nxt = idx + 1
 
-        if m in _BRANCHES:
+        if m in BRANCHES:
             t_pc = pc + 4 + (instr.imm << 2)
-            t_idx = (t_pc - self._text_base) >> 2
-            if not 0 <= t_idx < self._text_len:
+            t_idx = (t_pc - self.text_base) >> 2
+            if not 0 <= t_idx < self.text_len:
                 # same escape slot the threaded table uses: executing it
                 # raises, and if the step budget runs out first the caller
                 # sees the same "exceeded max_steps" the threaded loop does
-                t_idx = self._cpu._escape_slots[t_pc]
-            a, av = env.read(instr.rs)
-            prelude: list[str] = []
-            if m == "beq" or m == "bne":
-                b, bv = env.read(instr.rt)
-                if av is not None and bv is not None:
-                    taken = av == bv if m == "beq" else av != bv
-                    cond = "if True:" if taken else "if False:"
-                else:
-                    cond = f"if {a} == {b}:" if m == "beq" else f"if {a} != {b}:"
-            elif av is not None:
-                signed = _s32(av)
-                taken = {
-                    "blez": signed <= 0, "bgtz": signed > 0,
-                    "bltz": signed < 0, "bgez": signed >= 0,
-                }[m]
-                cond = "if True:" if taken else "if False:"
-            elif m == "blez":
-                prelude = [f"_v = {a}"]
-                cond = "if _v == 0 or _v & 0x80000000:"
-            elif m == "bgtz":
-                prelude = [f"_v = {a}"]
-                cond = "if _v != 0 and not _v & 0x80000000:"
-            elif m == "bltz":
-                cond = f"if {a} & 0x80000000:"
-            else:  # bgez
-                cond = f"if not {a} & 0x80000000:"
+                t_idx = self.escape_slots[t_pc]
+            prelude, taken_cond, _ = self.branch_condition(instr, env)
             return env.take_pending() + env.flush() + prelude + [
-                cond,
+                f"if {taken_cond}:",
                 f"    T[{idx}] += 1",
                 f"    return {t_idx}",
                 f"return {nxt}",
@@ -730,9 +592,9 @@ class SuperblockTable:
 
         if m == "j" or m == "jal":
             t_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
-            t_idx = (t_pc - self._text_base) >> 2
-            if not 0 <= t_idx < self._text_len:
-                t_idx = self._cpu._escape_slots[t_pc]
+            t_idx = (t_pc - self.text_base) >> 2
+            if not 0 <= t_idx < self.text_len:
+                t_idx = self.escape_slots[t_pc]
             lines = []
             if m == "jal":
                 lines.extend(env.write(31, None, pc + 4))
@@ -747,11 +609,11 @@ class SuperblockTable:
                 lines.extend(env.write(instr.rd, None, pc + 4))
             target, _ = env.read(instr.rs)
             lines = env.take_pending() + lines + [f"_t = {target}"] + env.flush() + [
-                f"_i = (_t - {self._text_base}) >> 2",
-                f"if _t & 3 or not 0 <= _i < {self._text_len}:",
+                f"_i = (_t - {self.text_base}) >> 2",
+                f"if _t & 3 or not 0 <= _i < {self.text_len}:",
                 '    raise Err("pc outside text section: 0x%08x" % _t)',
             ]
-            if self._profile:
+            if self.profile:
                 lines += [
                     f"_k = ({pc}, _t)",
                     "DE[_k] = DE.get(_k, 0) + 1",

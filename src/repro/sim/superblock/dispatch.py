@@ -1,0 +1,429 @@
+"""The superblock dispatch table: one whole-module compile per program.
+
+All leader blocks are emitted into a *single* generated source and
+``compile()``d once (ROADMAP item d) -- one code object per program
+instead of one closure chain per block, so the dispatch loop's
+``fns[index]()`` calls land on functions that share a module and its
+constant pool.  Three performance layers sit on that substrate:
+
+* **j-chain fusion** (item a): a leader whose block ends in an
+  unconditional ``j``/``jal`` with a static in-text target *inlines* the
+  target block (and so on, bounded), so the fused jump costs at most a
+  deferred link write instead of a dispatch round-trip.  The unit's
+  entry counter covers every member segment; :meth:`fold_into` expands
+  it exactly.
+* **trace tier** (item b): after the dispatch loop has run a few
+  sprees, :meth:`build_traces` chains the hottest taken-branch paths
+  into multi-block traces with guarded side exits (see
+  :mod:`repro.sim.superblock.traces`).  Traces install into :attr:`fns`
+  only -- :attr:`entries` always keeps the per-unit counting functions,
+  so the budget-exact sampled path (:meth:`Cpu.run_sampled`) never sees
+  a trace and stays bit-identical by construction.
+* **cold-counter spill** (item c): a unit whose counter shows no delta
+  for ``spill_after`` consecutive folds is dropped from the fold scan
+  (its counter increment is "spilled" out of the observation path) and
+  its slots are replaced by a reheat stub; if the block runs again the
+  stub re-installs the counting function *first* and tail-calls it, so
+  per-instruction counts stay exact even under sampling hooks.  The win
+  is fold cost: long-running sampled workloads (the
+  :mod:`repro.dynamic` drivers fold every few thousand instructions)
+  scan only the live hot set instead of every unit ever created.
+
+Exactness contract (unchanged from the monolithic version): a unit
+either runs to its end or raises at a terminator, every generated
+function starts by bumping its ``BC`` counter, and at every observation
+point the deltas fold into the per-instruction ``counts``/``taken``
+arrays the rest of the simulator derives statistics from.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.errors import SimulationError
+from repro.sim.cpu import _Halt
+from repro.sim.superblock.codegen import Codegen
+from repro.sim.superblock.leaders import CONTROL_TRANSFERS, find_leaders
+from repro.sim.superblock.traces import MAX_TRACES, TraceInfo, install_traces
+
+__all__ = ["SuperblockTable"]
+
+#: j-chain fusion bounds: chains stop after this many fused blocks or
+#: this many total instructions, keeping generated units (and the
+#: sampled path's whole-unit budget check) reasonably sized
+_CHAIN_MAX_BLOCKS = 8
+_CHAIN_MAX_INSTRS = 192
+
+_FACTORY = "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):"
+
+#: per-executable trace code cache, keyed by ``id(exe)`` (cleaned up by
+#: a finalizer when the executable dies).  A run's warmup profiles,
+#: plans, and compiles its traces; those builds are replayed -- compiled
+#: code object plus counter layout, no re-planning, no ``compile()`` --
+#: into every later table on the same program, so repeat runs start
+#: trace-warm.  Keying by identity (the Executable dataclass is
+#: unhashable) keeps the cache off the exe itself: code objects must
+#: never ride along into the pickled flow cache.
+_TRACE_CACHE: dict[int, dict] = {}
+
+
+def _exe_cache(exe) -> dict:
+    key = id(exe)
+    cache = _TRACE_CACHE.get(key)
+    if cache is None:
+        cache = _TRACE_CACHE[key] = {}
+        weakref.finalize(exe, _TRACE_CACHE.pop, key, None)
+    return cache
+
+
+class SuperblockTable:
+    """Block structure + generated unit functions for one :class:`Cpu`.
+
+    Public surface used by the dispatch loop:
+
+    * ``entries[index] -> (n, fn | None)`` -- instruction count and
+      *counting* generated function for every handler slot (escape slots
+      reuse the threaded escape handlers with length 1); ``fn is None``
+      marks a mid-block index nobody has jumped to yet.  Traces are
+      never installed here.
+    * ``fns[index]`` -- the fast-path view used by unchunked dispatch
+      sprees: same functions, except hot anchors may hold a trace.
+    * :meth:`materialize` -- build the suffix unit for a dynamic jump to
+      a mid-block index.
+    * :meth:`reset` / :meth:`fold_into` -- zero the per-unit counters at
+      run start / fold their deltas into the per-instruction arrays.
+    * :meth:`build_traces` -- incremental trace-tier construction,
+      called by the dispatch loop at warmup checkpoints.
+    * :attr:`blocks` -- the leader partition, for introspection and the
+      formation property tests; :attr:`chains` / :attr:`traces` /
+      :attr:`spilled` -- introspection for the fusion and trace tiers.
+    * :attr:`call_bound` -- max instructions any single ``fns`` call may
+      execute; the unchunked spree sizing divides by this.
+    """
+
+    def __init__(self, cpu) -> None:
+        self._cpu = cpu
+        self._decoded = cpu._decoded
+        self._text_base = cpu.exe.text_base
+        self._text_len = len(cpu._decoded)
+        self._profile = cpu.profile
+        self._taken_arr = cpu._taken
+        self._spill_after = getattr(cpu, "_spill_after", 0)
+        self.leaders = find_leaders(
+            self._decoded, self._text_base, self._text_len, cpu.exe.data
+        )
+
+        # suffix_len[i]: instructions from i to the end of i's block
+        decoded = self._decoded
+        leaders = self.leaders
+        suffix = [1] * self._text_len
+        for i in range(self._text_len - 2, -1, -1):
+            if decoded[i].mnemonic in CONTROL_TRANSFERS or (i + 1) in leaders:
+                suffix[i] = 1
+            else:
+                suffix[i] = suffix[i + 1] + 1
+        self.suffix_len = suffix
+
+        #: per-unit entry counters / fold watermarks / member segments /
+        #: deferred branch-taken sites (traces pass hot-taken guards
+        #: without a per-iteration T bump; the fold adds delta per site)
+        self.bcounts: list[int] = []
+        self._folded: list[int] = []
+        self.members: list[tuple[tuple[int, int], ...]] = []
+        self.tsites: list[tuple[int, ...]] = []
+        #: bids the fold scan visits; cold units are removed (spilled)
+        self.live: list[int] = []
+        self._cold: list[int] = []
+        #: spill bookkeeping: unit -> its entries/fns slot + counting fn
+        self._home: dict[int, int] = {}
+        self._counting: dict[int, object] = {}
+        self.spilled = 0
+
+        #: trace tier state (populated by :meth:`build_traces`)
+        self.traces: list = []
+        self._traced: set[int] = set()
+        self.traces_built = False
+
+        handlers = cpu._handlers
+        entries: list[tuple] = [(1, handlers[slot]) for slot in range(len(handlers))]
+        for i in range(self._text_len):
+            entries[i] = (suffix[i], None)
+        self.entries = entries
+        self.fns: list = [entry[1] for entry in entries]
+
+        memory = cpu.memory
+        self._ns = {
+            "R": cpu.regs,
+            "T": cpu._taken,
+            "BC": self.bcounts,
+            "HL": cpu._hilo,
+            "DE": cpu._dyn_edges,
+            "r8": memory.read_u8,
+            "r16": memory.read_u16,
+            "r32": memory.read_u32,
+            "w8": memory.write_u8,
+            "w16": memory.write_u16,
+            "w32": memory.write_u32,
+            "Halt": _Halt,
+            "Err": SimulationError,
+        }
+        self._cg = Codegen(
+            decoded, self._text_base, self._text_len, self._profile,
+            cpu._escape_slots,
+        )
+        #: leader -> fused segment tuple, for chains longer than one block
+        self.chains: dict[int, tuple[tuple[int, int], ...]] = {}
+        self._build_leader_units()
+        self.call_bound = max((entry[0] for entry in self.entries), default=1)
+        #: unit-tier dispatch bound: installing traces raises
+        #: :attr:`call_bound` (to the largest trace cap) but not this,
+        #: so the dispatch loop can wind down through ``entries`` once
+        #: the remaining budget is below a trace call
+        self.unit_bound = self.call_bound
+
+        #: this executable's trace builds (shared across tables); None
+        #: when the trace tier is disabled for this cpu
+        self._cache: list | None = None
+        if getattr(cpu, "_trace_threshold", 0):
+            self._cache = _exe_cache(cpu.exe).setdefault(self._profile, [])
+            for artifact in self._cache:
+                self._replay(artifact)
+
+    # -- public surface ----------------------------------------------------
+
+    @property
+    def blocks(self) -> list[tuple[int, int]]:
+        """The leader partition as (start index, length), sorted.
+
+        Chain fusion and traces never change the partition -- they only
+        change how many partition blocks one generated call executes.
+        """
+        return [(leader, self.suffix_len[leader]) for leader in sorted(self.leaders)]
+
+    @property
+    def max_block_len(self) -> int:
+        """Longest single partition block (pre-fusion), for introspection."""
+        return max(self.suffix_len, default=1)
+
+    def reset(self) -> None:
+        bcounts = self.bcounts
+        folded = self._folded
+        cold = self._cold
+        for i in range(len(bcounts)):
+            bcounts[i] = 0
+            folded[i] = 0
+            cold[i] = 0
+
+    def fold_into(self, counts: list[int]) -> None:
+        """Fold per-unit entry deltas into the per-instruction counters.
+
+        Only :attr:`live` units are scanned.  A unit with no delta for
+        ``spill_after`` consecutive folds is spilled: removed from the
+        scan and stubbed so it re-registers itself if it ever reheats.
+        """
+        bcounts = self.bcounts
+        folded = self._folded
+        members = self.members
+        tsites = self.tsites
+        taken = self._taken_arr
+        cold = self._cold
+        spill_after = self._spill_after
+        spills = None
+        for bid in self.live:
+            delta = bcounts[bid] - folded[bid]
+            if delta:
+                folded[bid] = bcounts[bid]
+                for start, length in members[bid]:
+                    for i in range(start, start + length):
+                        counts[i] += delta
+                for site in tsites[bid]:
+                    taken[site] += delta
+                cold[bid] = 0
+            elif spill_after:
+                streak = cold[bid] + 1
+                cold[bid] = streak
+                if streak >= spill_after and self._spillable(bid):
+                    if spills is None:
+                        spills = []
+                    spills.append(bid)
+        if spills:
+            for bid in spills:
+                self._spill(bid)
+
+    def materialize(self, index: int) -> tuple:
+        """Generate the suffix unit for a dynamic jump to mid-block *index*.
+
+        Only ever called for indices whose entry is ``(n, None)`` --
+        anchors and leaders are populated at build time, so a trace
+        installed in :attr:`fns` can never be overwritten here.  Suffix
+        units are never chain-fused: the sampled dispatch loop budget-
+        checks the ``(n, None)`` placeholder *before* materializing, so
+        the generated unit must execute exactly ``suffix_len`` steps.
+        """
+        segments = ((index, self.suffix_len[index]),)
+        bid = self._new_bid(segments)
+        source = _FACTORY + "\n"
+        source += "\n".join(self._cg.emit_unit("_b", segments, bid, "    ")) + "\n"
+        source += "    return _b\n"
+        namespace: dict = {}
+        exec(compile(source, f"<superblock@{index}>", "exec"), namespace)
+        fn = namespace["_factory"](**self._ns)
+        total = sum(length for _, length in segments)
+        entry = (total, fn)
+        self.entries[index] = entry
+        self.fns[index] = fn
+        self._home[bid] = index
+        self._counting[bid] = fn
+        if total > self.call_bound:
+            self.call_bound = total
+        return entry
+
+    def build_traces(self, counts: list[int]) -> bool:
+        """One incremental trace build from the folded profile.
+
+        The dispatch loop calls this at every warmup checkpoint, so a
+        loop whose hot phase starts after a cold init still gets traced.
+        Returns whether trace capacity remains (``False`` ends warmup).
+        """
+        self.traces_built = True
+        install_traces(self, counts, self._taken_arr)
+        return len(self.traces) < MAX_TRACES
+
+    # -- construction ------------------------------------------------------
+
+    def _replay(self, artifact: dict) -> None:
+        """Install one cached trace build (recorded by a previous table's
+        :func:`install_traces` on the same executable).
+
+        Counter layout must line up with the bid indices baked into the
+        cached code object.  Leader-unit bids are deterministic per
+        executable, but the recording run may have interleaved
+        ``materialize`` bids before its trace bids; those gaps become
+        dead placeholders here -- memberless, never bumped, never
+        scanned (not in :attr:`live`).
+        """
+        for bid, members, tsites in artifact["bids"]:
+            while len(self.members) < bid:
+                self.members.append(())
+                self.tsites.append(())
+                self.bcounts.append(0)
+                self._folded.append(0)
+                self._cold.append(0)
+            self._new_bid(members, tsites)
+        namespace: dict = {}
+        exec(artifact["code"], namespace)
+        fns = namespace["_factory"](**self._ns)
+        bound = self.call_bound
+        for anchor, blocks, loop, guards, cap, bids, call_bids in artifact["infos"]:
+            self.fns[anchor] = fns[anchor]
+            self._traced.add(anchor)
+            self.traces.append(TraceInfo(
+                anchor=anchor, blocks=blocks, loop=loop, guards=guards,
+                cap=cap, _table=self, _bids=bids, _call_bids=call_bids,
+            ))
+            if cap > bound:
+                bound = cap
+        self.call_bound = bound
+        self.traces_built = True
+
+    def _chain_segments(self, start: int) -> list[tuple[int, int]]:
+        """The fused j-chain starting at *start*, as (start, length) runs.
+
+        Follows unconditional ``j``/``jal`` terminators with static
+        in-text targets; stops at any other terminator, at a revisit
+        (self-loops must dispatch, or the generated unit would never
+        return), and at the fusion caps.
+        """
+        segments: list[tuple[int, int]] = []
+        seen: set[int] = set()
+        current = start
+        total = 0
+        while True:
+            length = self.suffix_len[current]
+            segments.append((current, length))
+            seen.add(current)
+            total += length
+            last = self._decoded[current + length - 1]
+            if (last.mnemonic not in ("j", "jal")
+                    or len(segments) >= _CHAIN_MAX_BLOCKS
+                    or total >= _CHAIN_MAX_INSTRS):
+                break
+            pc = self._text_base + ((current + length - 1) << 2)
+            t_pc = ((pc + 4) & 0xF000_0000) | (last.target << 2)
+            t_idx = (t_pc - self._text_base) >> 2
+            if not 0 <= t_idx < self._text_len or t_idx in seen:
+                break
+            current = t_idx
+        return segments
+
+    def _new_bid(self, segments, tsites: tuple[int, ...] = ()) -> int:
+        bid = len(self.members)
+        self.members.append(tuple(segments))
+        self.tsites.append(tuple(tsites))
+        self.bcounts.append(0)
+        self._folded.append(0)
+        self._cold.append(0)
+        self.live.append(bid)
+        return bid
+
+    def _build_leader_units(self) -> None:
+        """Generate one module containing a function per leader chain."""
+        lines = [_FACTORY, "    fns = {}"]
+        registry: list[tuple[int, int, int]] = []  # (start, bid, total)
+        for start in sorted(self.leaders):
+            segments = self._chain_segments(start)
+            bid = self._new_bid(segments)
+            lines.extend(self._cg.emit_unit(f"_b{start}", segments, bid, "    "))
+            lines.append(f"    fns[{start}] = _b{start}")
+            registry.append((start, bid, sum(n for _, n in segments)))
+            if len(segments) > 1:
+                self.chains[start] = tuple(segments)
+        lines.append("    return fns")
+        source = "\n".join(lines) + "\n"
+        namespace: dict = {}
+        exec(compile(source, "<superblocks>", "exec"), namespace)
+        fns = namespace["_factory"](**self._ns)
+        for start, bid, total in registry:
+            fn = fns[start]
+            self.entries[start] = (total, fn)
+            self.fns[start] = fn
+            self._home[bid] = start
+            self._counting[bid] = fn
+
+    # -- cold-counter spill --------------------------------------------------
+
+    def _spillable(self, bid: int) -> bool:
+        """Only units still holding their counting fn in *both* views may
+        spill -- an installed trace (fns) or an earlier stub must never be
+        clobbered."""
+        home = self._home.get(bid)
+        if home is None:
+            return False  # trace bids have no home slot
+        counting = self._counting[bid]
+        return self.fns[home] is counting and self.entries[home][1] is counting
+
+    def _spill(self, bid: int) -> None:
+        home = self._home[bid]
+        counting = self._counting[bid]
+        n = self.entries[home][0]
+        entries = self.entries
+        fns = self.fns
+        cold = self._cold
+        live = self.live
+
+        def reheat():
+            # re-install the counting fn *before* executing, so the unit
+            # is counted from this very call and rejoins the fold scan
+            entries[home] = (n, counting)
+            if fns[home] is reheat:
+                # a trace may have been installed over the stub since the
+                # spill; the trace keeps its slot
+                fns[home] = counting
+            cold[bid] = 0
+            live.append(bid)
+            return counting()
+
+        entries[home] = (n, reheat)
+        fns[home] = reheat
+        live.remove(bid)
+        self.spilled += 1

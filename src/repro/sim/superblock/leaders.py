@@ -1,0 +1,57 @@
+"""Superblock formation: leaders and the block partition.
+
+Leaders are the entry index, every instruction after a control transfer,
+every static branch/jump target, and every data word that looks like a
+text address (the compiler's switch jump tables live in ``.data`` as
+little-endian word arrays of case-target addresses, so this scan
+guarantees jump-table targets start a block).  The leader set only
+affects *performance*: a register-indirect jump into the middle of a
+block -- possible in principle for hand-written assembly -- lazily
+materializes a suffix block starting at that index, so correctness never
+depends on the discovery heuristics.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BRANCHES", "CONTROL_TRANSFERS", "find_leaders"]
+
+#: a superblock never continues past one of these
+CONTROL_TRANSFERS = frozenset((
+    "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+    "j", "jal", "jr", "jalr", "break", "syscall",
+))
+
+BRANCHES = frozenset(("beq", "bne", "blez", "bgtz", "bltz", "bgez"))
+
+
+def find_leaders(decoded, text_base: int, text_len: int, data: bytes) -> set[int]:
+    """Indices that start a superblock.
+
+    The union of: index 0, the successor of every control transfer, every
+    in-text static branch/jump target, and every word-aligned text address
+    found in the data section (jump-table case targets).
+    """
+    leaders: set[int] = {0} if text_len else set()
+    for index in range(text_len):
+        instr = decoded[index]
+        m = instr.mnemonic
+        if m not in CONTROL_TRANSFERS:
+            continue
+        if index + 1 < text_len:
+            leaders.add(index + 1)
+        if m in BRANCHES:
+            target = index + 1 + instr.imm
+            if 0 <= target < text_len:
+                leaders.add(target)
+        elif m == "j" or m == "jal":
+            pc = text_base + (index << 2)
+            t_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
+            target = (t_pc - text_base) >> 2
+            if 0 <= target < text_len:
+                leaders.add(target)
+    text_end = text_base + (text_len << 2)
+    for offset in range(0, len(data) - 3, 4):
+        word = int.from_bytes(data[offset:offset + 4], "little")
+        if not word & 3 and text_base <= word < text_end:
+            leaders.add((word - text_base) >> 2)
+    return leaders

@@ -1,0 +1,536 @@
+"""The trace tier: hot taken-branch paths compiled into one function each.
+
+This is the simulator-side twin of the paper's core observation (and of
+Lysecky & Vahid's warp processing): a handful of hot paths dominate
+execution, and those paths are worth compiling into a faster form.  The
+dispatch loop runs a few sprees with per-unit counters live, then calls
+:func:`install_traces` once; planning reads the folded per-instruction
+``counts``/``taken`` profile -- the very arrays the repo's partitioning
+studies use -- and chains each hot anchor through its biased branch
+directions into a **trace**: a straight-line generated function crossing
+many basic blocks, with a *guard* at every in-trace branch.
+
+Guards keep the tier transparent:
+
+* the hot direction falls through into the next block's code (no
+  dispatch, no register write-back);
+* the cold direction bumps the guard's exit counter, write-backs the
+  cached registers (:meth:`_BlockEnv.peek_flush` -- the hot path's
+  deferred-write state must survive), and returns the exit index to the
+  dispatch loop, which resumes normal block dispatch.
+
+Exactness: every distinct runtime path through a trace ends in exactly
+one ``BC`` bump -- a guard-exit counter whose members are the executed
+block prefix, or the full-path counter at the natural end -- so folding
+reconstructs per-instruction counts exactly.  Hot-*taken* guards cannot
+bump ``T`` inline on the hot path (that would cost a statement per
+guard per call), so each counter carries *tsites*: the branch sites the
+corresponding path passed through taking them, credited ``delta`` at
+fold time.  A path that closes back on its anchor becomes a **loop
+trace**: the body runs up to ``cycles`` iterations inside one call
+(bounded so the dispatch loop's budget arithmetic stays exact), with
+the back edge bumping a per-iteration counter, so a hot loop costs one
+Python call per ~:data:`TRACE_CAP` instructions.
+
+Loop traces carry registers in Python locals *across* iterations
+(:class:`_LoopEnv`): every touched register is loaded once at trace
+entry, every write lands in a local, and the architectural file is
+written back only at observation points -- guard exits, the
+conditional-back exit, and loop exhaustion -- via a uniform
+``R[n] = xn`` flush of the statically-written set.  The back-edge
+``continue`` writes nothing back at all, which is what makes a hot
+loop iteration a handful of local-variable statements.  The one
+semantic consequence: a run aborted by a ``MemoryFault`` *inside* a
+loop trace leaves the register file at the last write-back rather
+than at the faulting instruction.  Faults are terminal (the engines
+already diverge on partial-block counts there), and no observable
+statistic depends on post-fault register state.
+
+Traces install into ``table.fns`` only.  The sampled path
+(``Cpu.run_sampled``) dispatches via ``table.entries`` and therefore
+never executes a trace: chunk boundaries keep landing on exact
+instruction counts without traces needing any budget logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.superblock.codegen import _MAY_FAULT, _read_regs, _written_reg
+from repro.sim.superblock.leaders import BRANCHES, CONTROL_TRANSFERS
+
+__all__ = ["TraceInfo", "install_traces", "plan_traces",
+           "HOT_ANCHOR", "HOT_EDGE", "BIAS",
+           "MAX_TRACES", "MAX_SEGMENTS", "PATH_CAP", "TRACE_CAP"]
+
+#: minimum *instructions executed from* a leader (entry count x block
+#: length) for it to anchor a trace; weighting by length lets a
+#: 300-instruction loop body qualify after a few dozen iterations while
+#: a 3-instruction block needs to be genuinely hot.  The effective
+#: floor also scales with executed instructions (see
+#: :func:`plan_traces`) so a long run only traces paths that matter
+HOT_ANCHOR = 4096
+#: executed >> HOT_SHIFT is the dynamic part of the anchor floor
+#: (~0.8% of the instructions run so far)
+HOT_SHIFT = 7
+#: a non-loop trace below this many instructions saves too few
+#: dispatches to be worth its compile time
+MIN_STRAIGHT = 8
+#: minimum execution count for a branch to be considered for extension
+HOT_EDGE = 64
+#: minimum taken (or not-taken) ratio for a branch direction to be "hot"
+BIAS = 0.85
+#: at most this many traces per program (hottest anchors win)
+MAX_TRACES = 16
+#: at most this many blocks per trace
+MAX_SEGMENTS = 32
+#: at most this many instructions on a trace path (single pass)
+PATH_CAP = 512
+#: a loop trace runs ~this many instructions per call (cycles * body)
+TRACE_CAP = 4096
+
+_FACTORY = "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):"
+
+
+@dataclass
+class _Guard:
+    """An in-trace branch: hot direction continues, cold direction exits."""
+    idx: int          # branch instruction index
+    hot_taken: bool   # hot direction is the taken edge
+    exit_index: int   # dispatch index the cold direction returns
+    seg_no: int       # segments[:seg_no+1] executed when this guard exits
+    bid: int = -1     # exit counter, assigned at emission
+
+
+@dataclass
+class _TracePlan:
+    anchor: int
+    segments: list        # [(start, length), ...] in path order
+    guards: list          # [_Guard, ...] at non-final segment ends
+    loop: bool            # path closes back on the anchor
+    back: _Guard | None   # conditional back edge (None: unconditional)
+    total: int            # instructions on one full pass
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """Introspection handle for one installed trace (``cpu.traces``)."""
+    anchor: int                  # entry index (dispatch slot it occupies)
+    blocks: tuple                # (start, length) segments on the hot path
+    loop: bool                   # loop trace (body repeats inside one call)
+    guards: int                  # number of guarded side exits
+    cap: int                     # max instructions one call may execute
+    _table: object = field(repr=False, compare=False)
+    _bids: tuple = field(repr=False, compare=False)
+    _call_bids: tuple = field(repr=False, compare=False)
+
+    @property
+    def calls(self) -> int:
+        """Times the trace function ran (every runtime path counts once)."""
+        bcounts = self._table.bcounts
+        return sum(bcounts[bid] for bid in self._call_bids)
+
+    @property
+    def instructions(self) -> int:
+        """Instructions executed inside the trace (exact, from the fold
+        counters -- partial guard-exit passes included)."""
+        bcounts = self._table.bcounts
+        members = self._table.members
+        return sum(
+            bcounts[bid] * sum(length for _, length in members[bid])
+            for bid in self._bids
+        )
+
+
+# -- planning ----------------------------------------------------------------
+
+
+def plan_traces(table, counts, taken) -> list[_TracePlan]:
+    """Trace plans from the folded profile, hottest anchors first.
+
+    Builds are incremental: the dispatch loop re-plans at every warmup
+    checkpoint, so the budget is what is left of :data:`MAX_TRACES` and
+    blocks already inside an installed trace are not re-anchored.  A
+    loop that only turns hot after an init phase (its early profile is
+    cold) still gets its trace a few sprees later.
+    """
+    budget = MAX_TRACES - len(table.traces)
+    if budget <= 0:
+        return []
+    hot_min = max(HOT_ANCHOR, sum(counts) >> HOT_SHIFT)
+    suffix = table.suffix_len
+    # anchor hotness is weighted by *dispatch entries* (per-unit fold
+    # counters), not raw instruction counts: a leader that executes hot
+    # but only ever mid-chain is never a dispatch target, so a trace
+    # anchored there would never be called
+    bcounts = table.bcounts
+    entered: dict[int, int] = {}
+    for bid, home in table._home.items():
+        if bcounts[bid]:
+            entered[home] = entered.get(home, 0) + bcounts[bid]
+    hot = sorted(
+        ((entered.get(leader, 0) * suffix[leader], leader)
+         for leader in table.leaders
+         if entered.get(leader, 0) * suffix[leader] >= hot_min
+         and leader not in table._traced),
+        reverse=True,
+    )
+    plans: list[_TracePlan] = []
+    covered: set[int] = {
+        start for info in table.traces for start, _ in info.blocks
+    }
+    for _, anchor in hot:
+        if len(plans) >= budget:
+            break
+        if anchor in covered:
+            continue
+        plan = _grow(table, counts, taken, anchor)
+        if plan is not None:
+            plans.append(plan)
+            covered.update(start for start, _ in plan.segments)
+    return plans
+
+
+def _grow(table, counts, taken, anchor) -> _TracePlan | None:
+    """Extend *anchor* through hot biased edges into one trace plan.
+
+    Stops at cold or unbiased branches, register-indirect jumps,
+    ``break``/``syscall``, out-of-text successors, path revisits, and
+    the size caps; a path that returns to *anchor* closes into a loop.
+    Single-block non-loop paths are not worth a trace.
+    """
+    decoded = table._decoded
+    suffix = table.suffix_len
+    text_len = table._text_len
+    segments: list[tuple[int, int]] = []
+    guards: list[_Guard] = []
+    seen: set[int] = set()
+    total = 0
+    current = anchor
+    loop = False
+    back: _Guard | None = None
+    while True:
+        length = suffix[current]
+        segments.append((current, length))
+        seen.add(current)
+        total += length
+        idx = current + length - 1
+        instr = decoded[idx]
+        m = instr.mnemonic
+        guard: _Guard | None = None
+        if m in BRANCHES:
+            execs = counts[idx]
+            if execs < HOT_EDGE:
+                break
+            bias = taken[idx] / execs
+            raw_t = idx + 1 + instr.imm
+            if bias >= BIAS:
+                if not 0 <= raw_t < text_len:
+                    break  # hot direction escapes the text section
+                succ = raw_t
+                guard = _Guard(idx, True, idx + 1, len(segments) - 1)
+            elif bias <= 1.0 - BIAS:
+                succ = idx + 1
+                if 0 <= raw_t < text_len:
+                    exit_index = raw_t
+                else:
+                    t_pc = table._text_base + (raw_t << 2)
+                    exit_index = table._cg.escape_slots[t_pc]
+                guard = _Guard(idx, False, exit_index, len(segments) - 1)
+            else:
+                break  # unbiased: keep the natural two-way terminator
+        elif m == "j" or m == "jal":
+            pc = table._text_base + (idx << 2)
+            t_pc = ((pc + 4) & 0xF000_0000) | (instr.target << 2)
+            succ = (t_pc - table._text_base) >> 2
+            if not 0 <= succ < text_len:
+                break
+        elif m in ("jr", "jalr", "break", "syscall"):
+            break  # terminal: dynamic target or stop
+        else:
+            succ = idx + 1  # plain fall-through into the next leader
+            if succ >= text_len:
+                break
+        if succ == anchor:
+            loop = True
+            back = guard
+            break
+        if (succ in seen or len(segments) >= MAX_SEGMENTS
+                or total + suffix[succ] > PATH_CAP):
+            break  # guard (if any) discarded: natural terminator stays
+        if guard is not None:
+            guards.append(guard)
+        current = succ
+    if loop:
+        return _TracePlan(anchor, segments, guards, True, back, total)
+    if len(segments) >= 2 and total >= MIN_STRAIGHT:
+        return _TracePlan(anchor, segments, guards, False, None, total)
+    return None
+
+
+# -- emission ----------------------------------------------------------------
+
+
+class _LoopEnv:
+    """Register environment for loop traces: locals live across iterations.
+
+    Drop-in for :class:`~repro.sim.superblock.codegen._BlockEnv` at the
+    emission interfaces, with a different write-back discipline.  Every
+    register the body touches is loaded into a local once at trace entry
+    (:meth:`entry_loads`); writes always assign the local, so the locals
+    are architecturally exact at every point of every iteration while
+    ``R`` goes stale.  ``flush``/``take_pending`` return nothing -- the
+    pre-fault write-backs a :class:`_BlockEnv` emits are deliberately
+    elided inside the loop body (see the module docstring) and there is
+    no lazy-load state to realize.  The only write-backs are
+    :meth:`peek_flush` at observation points: a uniform ``R[n] = xn``
+    over the statically-written set, which is exact at any exit in any
+    iteration precisely because the body is straight-line (guards only
+    leave it) and the locals are always current.  Literal knowledge is
+    kept for read-folding, but a known write still assigns the local --
+    ``peek_flush`` depends on it.
+    """
+
+    def __init__(self, decoded, segments) -> None:
+        touched: set[int] = set()
+        written: set[int] = set()
+        for start, length in segments:
+            for instr in decoded[start:start + length]:
+                touched.update(_read_regs(instr))
+                target = _written_reg(instr)
+                if target:
+                    touched.add(target)
+                    written.add(target)
+        self.cached = touched
+        self.written = written
+        self.known: dict[int, int] = {}
+
+    def entry_loads(self) -> list[str]:
+        """One ``xn = R[n]`` per touched register, before the loop.
+
+        Write-only registers are loaded too: an iteration-1 guard exit
+        flushes the full written set, including registers whose first
+        write sits later on the path than the guard.
+        """
+        return [f"x{reg} = R[{reg}]" for reg in sorted(self.cached)]
+
+    def read(self, reg: int) -> tuple[str, int | None]:
+        if reg == 0:
+            return "0", 0
+        value = self.known.get(reg)
+        if value is not None:
+            return str(value), value
+        if reg in self.cached:
+            return f"x{reg}", None
+        return f"R[{reg}]", None  # pragma: no cover -- prepass covers all
+
+    def write(self, reg: int, expr: str | None, value: int | None = None) -> list[str]:
+        if value is not None:
+            self.known[reg] = value
+            expr = str(value)
+        else:
+            self.known.pop(reg, None)
+        if reg in self.cached:
+            return [f"x{reg} = {expr}"]
+        return [f"R[{reg}] = {expr}"]  # pragma: no cover -- prepass covers all
+
+    def take_pending(self) -> list[str]:
+        return []
+
+    def flush(self) -> list[str]:
+        return []
+
+    def peek_flush(self) -> list[str]:
+        return [f"R[{reg}] = x{reg}" for reg in sorted(self.written)]
+
+
+def _emit_guard(cg, env, instr, guard, body) -> list[str]:
+    """The side exit for an in-trace branch.
+
+    Hot-taken: exit on the *not-taken* condition, no ``T`` bump (the hot
+    path's taken count is deferred to the downstream counters' tsites).
+    Hot-fallthrough: exit on the taken condition, ``T`` bumped inline
+    (exits are cold, one statement there is free).  Either way the exit
+    write-backs via ``peek_flush`` so the hot path's deferred state
+    survives the emission point.
+    """
+    prelude, pos, neg = cg.branch_condition(instr, env)
+    lines = env.take_pending() + prelude
+    if guard.hot_taken:
+        lines.append(f"if {neg}:")
+        tail = []
+    else:
+        lines.append(f"if {pos}:")
+        tail = [f"    T[{guard.idx}] += 1"]
+    tail.append(f"    BC[{guard.bid}] += 1")
+    tail.extend("    " + stmt for stmt in env.peek_flush())
+    tail.append(f"    return {guard.exit_index}")
+    return [body + line for line in lines + tail]
+
+
+def _emit_one(table, plan, name: str, lines: list[str]) -> TraceInfo:
+    """Emit one trace function into *lines*; returns its TraceInfo."""
+    cg = table._cg
+    decoded = table._decoded
+    segments = plan.segments
+    indent = "    "
+    lines.append(f"{indent}def {name}():")
+    body = indent + "    "
+
+    # -- counters: one bid per distinct runtime path through the trace
+    hot_taken_sites: list[int] = []
+    for guard in plan.guards:
+        guard.bid = table._new_bid(segments[:guard.seg_no + 1],
+                                   tuple(hot_taken_sites))
+        if guard.hot_taken:
+            hot_taken_sites.append(guard.idx)
+    guard_bids = tuple(guard.bid for guard in plan.guards)
+    back = plan.back
+    if plan.loop:
+        iter_sites = list(hot_taken_sites)
+        if back is not None and back.hot_taken:
+            iter_sites.append(back.idx)
+        iter_bid = table._new_bid(segments, tuple(iter_sites))
+        if back is not None:
+            back.bid = table._new_bid(segments, tuple(hot_taken_sites))
+        exhaust_bid = table._new_bid((), ())
+        cycles = max(1, TRACE_CAP // plan.total)
+        cap = cycles * plan.total
+        env = _LoopEnv(decoded, segments)
+        lines.extend(body + stmt for stmt in env.entry_loads())
+        lines.append(f"{body}for _ in range({cycles}):")
+        body += "    "
+        bids = guard_bids + (iter_bid,) + \
+            ((back.bid,) if back is not None else ())
+        call_bids = guard_bids + (exhaust_bid,) + \
+            ((back.bid,) if back is not None else ())
+    else:
+        env = cg.cache_env(segments)
+        full_bid = table._new_bid(segments, tuple(hot_taken_sites))
+        cap = plan.total
+        bids = guard_bids + (full_bid,)
+        call_bids = bids
+
+    # -- body: segments back to back, guards at non-final branch ends
+    last_seg = len(segments) - 1
+    guard_at = {guard.seg_no: guard for guard in plan.guards}
+    for seg_no, (start, length) in enumerate(segments):
+        final = seg_no == last_seg
+        for offset in range(length):
+            index = start + offset
+            instr = decoded[index]
+            m = instr.mnemonic
+            terminator = offset == length - 1 and m in CONTROL_TRANSFERS
+            if not terminator:
+                flush = env.flush() if m in _MAY_FAULT else []
+                emitted = cg.straightline(instr, env)
+                stmts = env.take_pending() + flush + emitted
+                lines.extend(body + stmt for stmt in stmts)
+                continue
+            if not final:
+                guard = guard_at.get(seg_no)
+                if guard is not None:
+                    lines.extend(_emit_guard(cg, env, instr, guard, body))
+                elif m == "jal":  # fused jump: only the link write remains
+                    pc = table._text_base + (index << 2)
+                    lines.extend(body + stmt
+                                 for stmt in env.write(31, None, pc + 4))
+                continue
+            # -- final segment: back edge (loop) or counted natural end
+            if plan.loop:
+                if back is not None:
+                    # conditional back edge: continue on the hot side,
+                    # exit (counted against the full body) on the other
+                    prelude, pos, neg = cg.branch_condition(instr, env)
+                    cont = pos if back.hot_taken else neg
+                    stmts = env.take_pending() + prelude + [f"if {cont}:"]
+                    stmts.append(f"    BC[{iter_bid}] += 1")
+                    stmts.append("    continue")
+                    if not back.hot_taken:
+                        stmts.append(f"T[{back.idx}] += 1")
+                    stmts.append(f"BC[{back.bid}] += 1")
+                    stmts.extend(env.peek_flush())
+                    stmts.append(f"return {back.exit_index}")
+                else:
+                    stmts = []
+                    if m == "jal":
+                        pc = table._text_base + (index << 2)
+                        stmts.extend(env.write(31, None, pc + 4))
+                    stmts.append(f"BC[{iter_bid}] += 1")
+                    stmts.append("continue")
+                lines.extend(body + stmt for stmt in stmts)
+            else:
+                lines.append(f"{body}BC[{full_bid}] += 1")
+                lines.extend(body + stmt
+                             for stmt in cg.terminator(instr, index, env))
+        if final and decoded[start + length - 1].mnemonic not in CONTROL_TRANSFERS:
+            # path ended on a plain fall-through (growth stopped at the
+            # next leader): count the full pass and hand back to dispatch
+            if plan.loop:
+                stmts = [f"BC[{iter_bid}] += 1", "continue"]
+            else:
+                stmts = [f"BC[{full_bid}] += 1"] + env.peek_flush() + \
+                    [f"return {start + length}"]
+            lines.extend(body + stmt for stmt in stmts)
+    if plan.loop:
+        # range exhausted: iterations never write R back, so flush the
+        # carried locals here, then return to dispatch at the anchor
+        lines.append(f"{indent}    BC[{exhaust_bid}] += 1")
+        lines.extend(f"{indent}    " + stmt for stmt in env.peek_flush())
+        lines.append(f"{indent}    return {plan.anchor}")
+
+    return TraceInfo(
+        anchor=plan.anchor, blocks=tuple(segments), loop=plan.loop,
+        guards=len(plan.guards), cap=cap,
+        _table=table, _bids=bids, _call_bids=call_bids,
+    )
+
+
+def install_traces(table, counts, taken) -> None:
+    """Plan, compile, and install traces; extends ``table.traces``.
+
+    One generated module holds every trace of this build.  Traces are
+    installed into ``table.fns`` only -- ``table.entries`` keeps the
+    counting units, so the sampled path and the spill machinery never
+    interact with trace functions.
+    """
+    plans = plan_traces(table, counts, taken)
+    if not plans:
+        return
+    lines = [_FACTORY, "    fns = {}"]
+    infos = []
+    for plan in plans:
+        name = f"_t{plan.anchor}"
+        infos.append(_emit_one(table, plan, name, lines))
+        lines.append(f"    fns[{plan.anchor}] = {name}")
+    lines.append("    return fns")
+    source = "\n".join(lines) + "\n"
+    code = compile(source, "<traces>", "exec")
+    namespace: dict = {}
+    exec(code, namespace)
+    fns = namespace["_factory"](**table._ns)
+    bound = table.call_bound
+    for info in infos:
+        table.fns[info.anchor] = fns[info.anchor]
+        table._traced.add(info.anchor)
+        table.traces.append(info)
+        if info.cap > bound:
+            bound = info.cap
+    table.call_bound = bound
+
+    # record the build so later tables on the same executable replay it
+    # (compiled code + counter layout) instead of re-profiling
+    cache = getattr(table, "_cache", None)
+    if cache is not None:
+        build_bids = sorted(
+            {bid for info in infos
+             for bid in set(info._bids) | set(info._call_bids)}
+        )
+        cache.append({
+            "code": code,
+            "bids": [(bid, table.members[bid], table.tsites[bid])
+                     for bid in build_bids],
+            "infos": [(info.anchor, info.blocks, info.loop, info.guards,
+                       info.cap, info._bids, info._call_bids)
+                      for info in infos],
+        })

@@ -32,7 +32,16 @@ from repro.platform import MIPS_200MHZ, SOFTCORE_85MHZ
 from repro.programs import ALL_BENCHMARKS, get_benchmark
 from repro.sim import run_executable, run_reference
 
-ENGINES = ("threaded", "superblock")
+# label -> Cpu kwargs.  "traces" forces the trace tier on hard: a tiny
+# spree budget makes warmup checkpoints fire almost immediately and an
+# aggressive spill threshold keeps the cold-counter machinery engaged,
+# so every fuzz seed exercises build, guard exits, spill and reheat.
+ENGINES = (
+    ("threaded", {"engine": "threaded"}),
+    ("superblock", {"engine": "superblock", "trace_threshold": 0}),
+    ("traces", {"engine": "superblock", "trace_threshold": 1,
+                "spree_size": 4096, "spill_after": 2}),
+)
 
 #: the acceptance bar: the whole suite, on hard- and soft-core platforms
 CORES = {"hard": MIPS_200MHZ, "soft": SOFTCORE_85MHZ}
@@ -71,9 +80,9 @@ class TestBenchmarkSuite:
         exe = compiled(name)
         cpi = CORES[core].cpi
         ref = run_reference(exe, profile=True, cpi=cpi)
-        for engine in ENGINES:
-            _, got = run_executable(exe, profile=True, cpi=cpi, engine=engine)
-            assert_identical(got, ref, f"{name} on {core} core, {engine} engine")
+        for label, kwargs in ENGINES:
+            _, got = run_executable(exe, profile=True, cpi=cpi, **kwargs)
+            assert_identical(got, ref, f"{name} on {core} core, {label} engine")
 
 
 # -- randomized program generator -------------------------------------------
@@ -257,11 +266,11 @@ class TestRandomPrograms:
         exe = compile_source(source, opt_level=opt_level)
         ref = run_reference(exe, profile=True, max_steps=20_000_000)
         checksums = set()
-        for engine in ENGINES:
+        for label, kwargs in ENGINES:
             cpu, got = run_executable(
-                exe, profile=True, max_steps=20_000_000, engine=engine
+                exe, profile=True, max_steps=20_000_000, **kwargs
             )
-            assert_identical(got, ref, f"seed={seed} -O{opt_level} {engine}\n{source}")
+            assert_identical(got, ref, f"seed={seed} -O{opt_level} {label}\n{source}")
             checksums.add(cpu.read_word_global_signed("checksum"))
         assert len(checksums) == 1, f"seed={seed}: engines disagree on memory"
 
@@ -273,3 +282,108 @@ class TestRandomPrograms:
         # enough for the compiler's jump-table lowering, so the fuzz suite
         # keeps exercising jr-dispatch through data-section tables
         assert any("switch" in random_program(seed) for seed in range(24))
+
+
+# -- trace-tier hazard programs ---------------------------------------------
+#
+# Deterministic sources aimed at the spots where the trace tier could
+# drift from the block tier: long fused j-chains, loops whose hot
+# direction flips after the trace is already installed (guard exits on
+# every remaining iteration), and jump-table dispatch landing mid-trace
+# on lazily materialized suffix blocks.
+
+
+def _j_chain_ladder(rungs: int) -> str:
+    """Empty-else cascades compile to ladders of unconditional ``j``:
+    every arm jumps to the join point, so chain fusion gets long
+    multi-segment units, and the hot path threads through them."""
+    arms = "\n".join(
+        f"        if (v == {k}) {{ acc += {k + 1}; }} else {{ acc ^= {k + 3}; }}"
+        for k in range(rungs)
+    )
+    return (
+        "int acc;\n"
+        "int main(void) {\n"
+        "    int i; int v;\n"
+        "    acc = 1;\n"
+        "    for (i = 0; i < 3000; i++) {\n"
+        "        v = i & 7;\n"
+        f"{arms}\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n"
+    )
+
+
+def _phase_flip(iters: int) -> str:
+    """A loop whose hot arm flips halfway through the run: the trace
+    built during the first phase keeps its guard, which must fail (and
+    exit exactly) on every iteration of the second phase."""
+    half = iters // 2
+    return (
+        "int acc; int alt;\n"
+        "int main(void) {\n"
+        "    int i;\n"
+        "    acc = 0; alt = 0;\n"
+        f"    for (i = 0; i < {iters}; i++) {{\n"
+        f"        if (i < {half}) {{\n"
+        "            acc = acc + (i ^ 3) + (acc >> 2);\n"
+        "        } else {\n"
+        "            alt = alt + (i | 5) - (alt >> 3);\n"
+        "        }\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n"
+    )
+
+
+def _jr_into_hot_loop(iters: int) -> str:
+    """A dense switch inside a hot loop: the jump table dispatches by
+    ``jr`` into case bodies that sit on the loop's hot fall-through
+    path, so dynamic entries land mid-block next to installed traces
+    and hit lazily materialized suffix units."""
+    cases = "\n".join(
+        f"        case {k}: acc += (acc >> {k + 1}) ^ {k * 7 + 1}; break;"
+        for k in range(8)
+    )
+    return (
+        "int acc;\n"
+        "int main(void) {\n"
+        "    int i;\n"
+        "    acc = 5;\n"
+        f"    for (i = 0; i < {iters}; i++) {{\n"
+        "        switch (acc & 7) {\n"
+        f"{cases}\n"
+        "        }\n"
+        "        acc = acc + i;\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n"
+    )
+
+
+HAZARDS = {
+    "j_chain_ladder": _j_chain_ladder(12),
+    "phase_flip": _phase_flip(4000),
+    "jr_into_hot_loop": _jr_into_hot_loop(3000),
+}
+
+
+class TestTraceHazards:
+    @pytest.mark.parametrize("name", sorted(HAZARDS))
+    @pytest.mark.parametrize("opt_level", [0, 2])
+    def test_engines_bit_identical(self, name, opt_level):
+        exe = compile_source(HAZARDS[name], opt_level=opt_level)
+        ref = run_reference(exe, profile=True)
+        for label, kwargs in ENGINES:
+            _, got = run_executable(exe, profile=True, **kwargs)
+            assert_identical(got, ref, f"{name} -O{opt_level} {label}")
+
+    def test_phase_flip_exercises_guard_exits(self):
+        # the hazard is only a hazard if the first-phase trace survives
+        # into the second phase; assert the tier actually built traces
+        exe = compile_source(HAZARDS["phase_flip"], opt_level=1)
+        cpu, _ = run_executable(
+            exe, trace_threshold=1, spree_size=4096, spill_after=2
+        )
+        assert cpu.traces, "phase-flip program built no traces"

@@ -281,3 +281,55 @@ class TestCrossEngineSampling:
         # executed instruction even while crossing multi-instruction blocks
         deltas = {b - a for a, b in zip(totals, totals[1:])}
         assert deltas <= {0, 1}
+
+
+class TestSpillAndTraceSampling:
+    """Cold-counter spill and the trace tier must not move a single
+    sample boundary or counter value.
+
+    The spill machinery rewrites live counter bookkeeping mid-run and
+    the trace tier installs multi-block functions over the same table;
+    sampled runs must stay bit-identical to the threaded engine at every
+    observation point regardless.  Interval 1 forces a single-stepped
+    tail on every chunk, 7 and 97 land boundaries mid-block and
+    mid-chain.
+    """
+
+    #: superblock configurations that exercise spill, traces, and both
+    CONFIGS = {
+        "spill": {"engine": "superblock", "trace_threshold": 0,
+                  "spill_after": 1},
+        "traces": {"engine": "superblock", "trace_threshold": 1,
+                   "spree_size": 4096, "spill_after": 0},
+        "spill+traces": {"engine": "superblock", "trace_threshold": 1,
+                         "spree_size": 4096, "spill_after": 1},
+    }
+
+    @staticmethod
+    def _trace(interval, **kwargs):
+        exe = _exe()
+        cpu = Cpu(exe, profile=True, **kwargs)
+        samples = []
+
+        def on_sample(counts, taken):
+            samples.append((tuple(counts), tuple(taken)))
+
+        result = cpu.run(sample_interval=interval, on_sample=on_sample)
+        return samples, result
+
+    @pytest.mark.parametrize("interval", [1, 7, 97])
+    @pytest.mark.parametrize("config", sorted(CONFIGS))
+    def test_bit_identical_samples(self, config, interval):
+        expected_samples, expected = self._trace(interval, engine="threaded")
+        got_samples, got = self._trace(interval, **self.CONFIGS[config])
+        assert expected.steps == got.steps
+        assert expected.cycles == got.cycles
+        assert expected.pc_counts == got.pc_counts
+        assert len(expected_samples) == len(got_samples)
+        for position, (want, have) in enumerate(
+            zip(expected_samples, got_samples)
+        ):
+            assert want == have, (
+                f"{config} at interval {interval}: sample {position} diverged"
+            )
+
