@@ -44,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -112,6 +113,16 @@ def time_single_run(name: str, profile: bool = False,
     return time_configs(name, {"run": kwargs}, repeats=repeats)["run"]
 
 
+def host_fingerprint() -> dict:
+    """Where these numbers came from: absolute instr/s are meaningless
+    without the host, and the trajectory file outlives any one machine."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
 def time_tier_sweep(repeats: int = SWEEP_REPEATS) -> dict:
     """Per-benchmark throughput of the block tier vs the trace tier over
     the whole 20-benchmark suite, with the geomean ratio."""
@@ -136,9 +147,17 @@ def time_tier_sweep(repeats: int = SWEEP_REPEATS) -> dict:
     geomean = round(
         math.exp(sum(math.log(r) for r in positive) / len(positive)), 3
     ) if positive else 0.0
+    # benchmarks where the trace tier *lost* to the block tier -- an
+    # explicit list so a localized regression cannot hide inside a
+    # still-healthy geomean
+    regressions = sorted(
+        name for name, row in rows.items() if 0 < row["ratio"] < 1.0
+    )
     return {
         "benchmarks": rows,
         "geomean_traces_vs_blocks": geomean,
+        "tier_regressions": regressions,
+        "host": host_fingerprint(),
         "reps": repeats,
     }
 
@@ -240,6 +259,9 @@ def main() -> None:
     print(f"tiers    {tier_sweep['geomean_traces_vs_blocks']:.3f}x geomean "
           f"traces-vs-blocks across {len(tier_sweep['benchmarks'])} benchmarks "
           f"(best of {tier_sweep['reps']})")
+    if tier_sweep["tier_regressions"]:
+        print(f"tiers    trace tier SLOWER than blocks on: "
+              f"{', '.join(tier_sweep['tier_regressions'])}")
 
     serial = time_sweep(max_workers=1)
     print(f"sweep    {serial:7.2f}s serial (20 benchmarks, 200 MHz platform)")
@@ -255,6 +277,7 @@ def main() -> None:
     payload = {
         "benchmark": "sim_throughput",
         "cpu_count": workers,
+        "host": host_fingerprint(),
         "engine": "superblock+traces",
         "reps": REPEATS,
         "single_run": single,

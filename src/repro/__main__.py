@@ -28,14 +28,21 @@ software binary, after any compiler.  This CLI is that tool:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.binary.image import Executable
 from repro.compiler.driver import CompilerOptions, compile_source
 from repro.decompile.decompiler import DecompilationOptions, decompile
 from repro.decompile.structure import render_pseudocode
-from repro.flow import FlowJob, run_flow_on_executable, run_flows
+from repro.flow import (
+    FlowJob,
+    pool_fallbacks,
+    run_flow_on_executable,
+    run_flows,
+)
 from repro.platform.platform import (
     MIPS_200MHZ,
     MIPS_400MHZ,
@@ -241,6 +248,9 @@ def cmd_dynamic(args) -> int:
             _print_dynamic_rows(result.reports)
             print(f"  peak fabric use: {result.peak_area_gates:,.0f} gates"
                   + (f", {result.peak_regions} regions" if args.regions else ""))
+        _extend_modeled_trace(args, config,
+                              [r for res in results for r in res.reports])
+        _print_pool_notes()
         return 0
 
     if args.benchmarks:
@@ -255,6 +265,7 @@ def cmd_dynamic(args) -> int:
         for bench in benches
     ]
     reports = run_dynamic_flows(jobs, max_workers=max_workers)
+    all_reports = reports
     worst_gap = 0.0
     for platform in platforms:
         chunk, reports = reports[: len(benches)], reports[len(benches):]
@@ -262,6 +273,42 @@ def cmd_dynamic(args) -> int:
         _print_dynamic_rows(chunk)
         worst_gap = max([worst_gap] + [r.warm_gap for r in chunk])
     print(f"worst warm gap vs static partition: {100 * worst_gap:.1f}%")
+    _extend_modeled_trace(args, config, all_reports)
+    _print_pool_notes()
+    return 0
+
+
+def _extend_modeled_trace(args, config, reports) -> None:
+    """Append each timeline's modeled-time events to the trace buffer, so
+    the ``--trace-out`` file shows what the dynamic system *modeled* (on
+    its own clock) next to what the tool *did* (on wall clock)."""
+    if not getattr(args, "trace_out", None):
+        return
+    latency = config.cad_latency_samples if config.concurrent_cad else 0
+    for report in reports:
+        obs.extend_trace(obs.timeline_trace_events(
+            report.name, report.timeline,
+            cad_latency_samples=latency,
+            pid=f"modeled: {report.platform.name}",
+        ))
+
+
+def _print_pool_notes() -> None:
+    """Surface serial fallbacks: a sweep that quietly ran on one core is a
+    perf mystery the user should not have to debug from timings."""
+    for fallback in pool_fallbacks():
+        print(f"  NOTE: process pool unavailable ({fallback.cause}: "
+              f"{fallback.message}); {fallback.jobs} jobs ran serially")
+
+
+def cmd_stats(args) -> int:
+    payload = obs.load_stats(args.file)
+    if payload is None:
+        where = args.file or obs.stats_path()
+        print(f"no saved telemetry at {where} "
+              "(run a command with --metrics first)", file=sys.stderr)
+        return 1
+    print(obs.format_stats(payload))
     return 0
 
 
@@ -309,7 +356,18 @@ def cmd_sweep(args) -> int:
                   f"{sum(r.app_speedup for r in ok) / len(ok):6.2f}x  "
                   f"energy {100 * sum(r.energy_savings for r in ok) / len(ok):5.1f}%  "
                   f"({len(ok)}/{len(chunk)} recovered)")
+    _print_pool_notes()
     return 1 if failed == len(jobs) else 0
+
+
+def _add_telemetry_flags(p) -> None:
+    p.add_argument("--metrics", action="store_true",
+                   help="record telemetry metrics (engine/cache/pool/... "
+                        "counters); the merged registry is saved for "
+                        "`python -m repro stats`")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace_event JSON of the run "
+                        "(load in chrome://tracing or ui.perfetto.dev)")
 
 
 def main(argv=None) -> int:
@@ -338,6 +396,7 @@ def main(argv=None) -> int:
                    help="dispatch sprees before the trace tier compiles hot "
                         "paths (superblock engine only; 0 disables traces)")
     p.add_argument("--read", nargs="*", help="data symbols to print after the run")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("decompile", help="show the recovered CDFG")
@@ -373,6 +432,7 @@ def main(argv=None) -> int:
                    help="disable the process pool")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk flow-report cache")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("dynamic",
@@ -413,10 +473,35 @@ def main(argv=None) -> int:
                    help="worker processes for the sweep (default: CPU count)")
     p.add_argument("--serial", action="store_true",
                    help="disable the process pool")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_dynamic)
 
+    p = sub.add_parser("stats", help="pretty-print the telemetry registry "
+                                     "saved by the last --metrics run")
+    p.add_argument("--file", help="stats JSON to read (default: "
+                                  "<obs dir>/last_stats.json)")
+    p.set_defaults(fn=cmd_stats)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    want_metrics = getattr(args, "metrics", False)
+    trace_out = getattr(args, "trace_out", None)
+    if want_metrics or trace_out:
+        # workers of a forthcoming process pool inherit the environment,
+        # so their flows record telemetry too (shipped back and merged by
+        # run_jobs)
+        os.environ[obs.ENABLE_ENV] = "1"
+        obs.enable(metrics=want_metrics, tracing=bool(trace_out))
+    rc = args.fn(args)
+    if args.command != "stats" and obs.metrics_enabled():
+        saved = obs.save_stats(obs.snapshot())
+        if saved is not None:
+            print(f"telemetry: metrics saved to {saved} "
+                  "(view with `python -m repro stats`)")
+    if trace_out:
+        path = obs.export_chrome(trace_out)
+        print(f"telemetry: trace written to {path} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    return rc
 
 
 if __name__ == "__main__":

@@ -41,8 +41,10 @@ produce the same timeline, so dynamic-vs-static tables are reproducible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.binary.image import Executable
 from repro.decompile.decompiler import (
     DecompilationOptions,
@@ -383,7 +385,8 @@ class DynamicPartitionController:
         if self._sites is not None:
             return self._sites
         self._sites = {}
-        program = decompile(self.exe, self.decompile_options)
+        with obs.span("cad.decompile", app=self.name):
+            program = decompile(self.exe, self.decompile_options)
         if program.failures:
             # same policy as the static flow: indirect jumps defeat CDFG
             # recovery, the application stays all-software
@@ -435,9 +438,10 @@ class DynamicPartitionController:
         if site.kernel is not None or site.synth_failed:
             return site.kernel
         try:
-            site.kernel = self._synthesizer.synthesize_loop(
-                site.function, site.loop, self.exe
-            )
+            with obs.span("cad.synthesize", app=self.name, site=site.name):
+                site.kernel = self._synthesizer.synthesize_loop(
+                    site.function, site.loop, self.exe
+                )
         except SynthesisError:
             site.synth_failed = True
         return site.kernel
@@ -633,7 +637,15 @@ class DynamicPartitionController:
             self._pending is None
             and self._samples % self.config.repartition_samples == 0
         ):
-            changed = self._repartition(counts, taken) or changed
+            if obs.metrics_enabled():
+                started = time.monotonic()
+                changed = self._repartition(counts, taken) or changed
+                obs.histogram("dynamic.repartition_seconds").observe(
+                    max(time.monotonic() - started, 1e-9)
+                )
+                obs.counter("dynamic.repartitions_total").inc()
+            else:
+                changed = self._repartition(counts, taken) or changed
         return self._adapt_interval(changed)
 
     def _adapt_interval(self, changed: bool) -> int | None:
@@ -731,6 +743,7 @@ class DynamicPartitionController:
         self.fabric.evict(self, address)
         self._recent_heat.pop(address, None)
         event.evicted.append(site.name)
+        obs.counter("dynamic.evictions_total").inc()
 
     def _repartition(self, counts: list[int], taken: list[int]) -> bool:
         config = self.config
@@ -748,8 +761,16 @@ class DynamicPartitionController:
         total_weight = self.profiler.total_weight()
         evict_below = config.evict_fraction * total_weight
         for address in list(self._resident):
-            if self._effective_heat(address, self._resident[address]) < evict_below:
+            site = self._resident[address]
+            table_heat = self._site_heat(site)
+            effective = max(table_heat, self._recent_heat.get(address, 0.0))
+            if effective < evict_below:
                 self._evict(address, event)
+            elif table_heat < evict_below:
+                # the recent-heat floor just saved a kernel the profiler
+                # table had crowded out -- the case _effective_heat exists
+                # for; count it so the guard's value shows up in reports
+                obs.counter("dynamic.eviction_guard_saves_total").inc()
 
         # 2. plan placements, hottest first, online-estimated-profitable
         #    only; a nest already covered by resident kernels is revisited
@@ -897,6 +918,7 @@ class DynamicPartitionController:
             regions = fabric.place(self, site.header_address, kernel)
             self._resident[site.header_address] = site
             event.placed.append(site.name)
+            obs.counter("dynamic.lifts_total").inc()
             event.regions_changed += regions
             # charge the overheads the static flow never pays
             event.cad_cycles += placement.cad_cycles

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from math import ceil
 
+from repro import obs
 from repro.platform.platform import Platform
 
 
@@ -137,10 +138,17 @@ class FabricState:
         )
         self.peak_area_gates = max(self.peak_area_gates, self.area_used())
         self.peak_regions = max(self.peak_regions, self.regions_used())
+        if obs.metrics_enabled():
+            obs.counter("fabric.placements_total").inc()
+            obs.gauge("fabric.area_gates").set(self.area_used())
+            obs.gauge("fabric.peak_area_gates").set_max(self.peak_area_gates)
         return regions
 
     def evict(self, owner, header_address: int) -> None:
-        self._placements.pop((owner, header_address), None)
+        if self._placements.pop((owner, header_address), None) is not None:
+            if obs.metrics_enabled():
+                obs.counter("fabric.evictions_total").inc()
+                obs.gauge("fabric.area_gates").set(self.area_used())
 
     def release(self, owner) -> None:
         """Evict everything *owner* holds (e.g. its application exited)."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.compiler.driver import CompilerOptions, compile_source
 from repro.decompile.decompiler import DecompilationOptions
 from repro.dynamic.controller import DynamicConfig, DynamicPartitionController
@@ -110,6 +111,8 @@ def run_multi_app_flow(
             self.result = None
             self.timeline = None
 
+    obs.counter("dynamic.multi_app_scenarios_total").inc()
+    obs.counter("dynamic.multi_app_apps_total").inc(len(apps))
     runners = [_App(spec) for spec in apps]
     active = list(runners)
     while active:

@@ -19,10 +19,13 @@ worker processes.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Iterable, Sequence, TYPE_CHECKING
+
+from repro import obs
 
 from repro.binary.image import Executable
 from repro.compiler.driver import CompilerOptions, compile_source
@@ -112,7 +115,8 @@ def run_flow(
     """Run the complete flow for one mini-C *source* on *platform*."""
     if compiler_options is None:
         compiler_options = CompilerOptions.from_level(opt_level)
-    exe = compile_source(source, compiler_options)
+    with obs.span("flow.compile", benchmark=name, opt=compiler_options.opt_level):
+        exe = compile_source(source, compiler_options)
     return run_flow_on_executable(
         exe,
         name=name,
@@ -155,11 +159,93 @@ class _JobFailure(Exception):
         self.cause = cause
 
 
-def _guarded(worker: Callable, item):
+@dataclass(frozen=True)
+class PoolFallback:
+    """One pool -> serial degradation, with the cause that used to vanish."""
+
+    cause: str       # exception class name (e.g. "BrokenProcessPool")
+    message: str
+    jobs: int        # how many jobs silently went serial
+
+
+#: every pool fallback this process has taken, oldest first; sweeps that
+#: quietly went serial used to be indistinguishable from parallel ones
+_POOL_FALLBACKS: list[PoolFallback] = []
+
+
+def pool_fallbacks() -> tuple[PoolFallback, ...]:
+    return tuple(_POOL_FALLBACKS)
+
+
+def clear_pool_fallbacks() -> None:
+    _POOL_FALLBACKS.clear()
+
+
+@dataclass
+class _WorkerPayload:
+    """A job result plus the worker's telemetry delta, shipped back through
+    the pool's ordinary (pickled) result plumbing."""
+
+    result: object
+    metrics: dict
+    events: list
+
+
+def _guarded(worker: Callable, pool_t0: float, item):
+    telemetry = obs.metrics_enabled() or obs.tracing_enabled()
+    if telemetry:
+        # forked workers inherit the parent's registry/buffer; ship only
+        # this job's own delta (time.monotonic is system-wide on Linux, so
+        # queue wait measured against the parent's pool_t0 is meaningful)
+        obs.reset_worker_state()
+        started = time.monotonic()
     try:
-        return worker(item)
+        result = worker(item)
     except Exception as exc:
         raise _JobFailure(exc) from exc
+    if not telemetry:
+        return result
+    obs.histogram("pool.queue_wait_seconds").observe(
+        max(0.0, started - pool_t0)
+    )
+    obs.histogram("pool.job_seconds").observe(time.monotonic() - started)
+    obs.counter("pool.jobs_total").inc()
+    return _WorkerPayload(result, obs.snapshot(), obs.take_trace_events())
+
+
+def _absorb(results: list) -> list:
+    """Unwrap worker payloads, folding their telemetry into this process."""
+    out = []
+    for item in results:
+        if isinstance(item, _WorkerPayload):
+            obs.merge_snapshot(item.metrics)
+            obs.extend_trace(item.events)
+            out.append(item.result)
+        else:
+            out.append(item)
+    return out
+
+
+def _run_serial(worker: Callable, item_list: list) -> list:
+    if not obs.metrics_enabled():
+        return [worker(item) for item in item_list]
+    jobs_total = obs.counter("pool.jobs_total")
+    job_seconds = obs.histogram("pool.job_seconds")
+    results = []
+    for item in item_list:
+        started = time.monotonic()
+        results.append(worker(item))
+        job_seconds.observe(time.monotonic() - started)
+        jobs_total.inc()
+    return results
+
+
+def _record_fallback(cause: str, message: str, jobs: int) -> None:
+    """Record one pool -> serial degradation; takes only plain strings so
+    the except handler that calls it keeps no exception reference."""
+    _POOL_FALLBACKS.append(PoolFallback(cause=cause, message=message, jobs=jobs))
+    obs.counter("pool.serial_fallback_total").inc()
+    obs.instant("pool.serial_fallback", cause=cause, message=message, jobs=jobs)
 
 
 def run_jobs(
@@ -175,24 +261,38 @@ def run_jobs(
     a serial retry while genuine job errors propagate unchanged.  Workers
     must be deterministic so the parallel and serial paths are drop-ins for
     each other.
+
+    Fallbacks are no longer silent: each one is recorded as a
+    :class:`PoolFallback` (see :func:`pool_fallbacks`) and counted on
+    ``pool.serial_fallback_total``.  With telemetry enabled, workers ship
+    their per-job registry deltas and trace events back inside the results
+    and they are merged into this process's registry here.
     """
     item_list = list(items)
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     max_workers = min(max_workers, len(item_list))
     if max_workers <= 1:
-        return [worker(item) for item in item_list]
+        return _run_serial(worker, item_list)
+    if obs.metrics_enabled() or obs.tracing_enabled():
+        # spawn-start workers re-import repro; the env flag makes them come
+        # up with telemetry on (forked workers inherit it either way)
+        os.environ.setdefault(obs.ENABLE_ENV, "1")
+    pool_t0 = time.monotonic()
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             # consume inside the `with` block: results stream back as
             # workers finish, and a pool that breaks mid-iteration is
             # caught here rather than surfacing from __exit__
-            return list(pool.map(partial(_guarded, worker), item_list))
+            results = list(pool.map(
+                partial(_guarded, worker, pool_t0), item_list
+            ))
+        return _absorb(results)
     except _JobFailure as failure:
         # re-raise the job's own exception; keep concurrent.futures'
         # _RemoteTraceback chained so the worker-side frames stay visible
         raise failure.cause from failure.__cause__
-    except (OSError, BrokenExecutor):
+    except (OSError, BrokenExecutor) as exc:
         # OSError: sandboxed/odd hosts that refuse worker processes or
         # semaphores.  BrokenExecutor/BrokenProcessPool: a worker died from
         # the *outside* (OOM kill, container signal) -- that is pool
@@ -200,11 +300,12 @@ def run_jobs(
         # The retry runs *outside* this handler (below): the broken pool
         # has fully torn down (the `with` block joined its remains before
         # the except body ran), the handler keeps no reference to the
-        # in-flight exception, and on single-core hosts the serial pass --
-        # which can take minutes for a big sweep -- is not racing half-dead
-        # worker processes for CPU, which made this path timing-sensitive.
-        pass
-    return [worker(item) for item in item_list]
+        # in-flight exception (_record_fallback extracts plain strings),
+        # and on single-core hosts the serial pass -- which can take
+        # minutes for a big sweep -- is not racing half-dead worker
+        # processes for CPU, which made this path timing-sensitive.
+        _record_fallback(type(exc).__name__, str(exc), len(item_list))
+    return _run_serial(worker, item_list)
 
 
 def run_flows(
@@ -267,9 +368,13 @@ def run_flow_on_executable(
     from one simulation.
     """
     if run is None:
-        _, run = run_executable(exe, profile=True, max_steps=max_steps, cpi=platform.cpi)
+        with obs.span("flow.simulate", benchmark=name):
+            _, run = run_executable(
+                exe, profile=True, max_steps=max_steps, cpi=platform.cpi
+            )
 
-    program = decompile(exe, decompile_options)
+    with obs.span("flow.decompile", benchmark=name):
+        program = decompile(exe, decompile_options)
     if program.failures:
         reasons = "; ".join(
             f"{f.function}@{f.address:#x}: {f.reason}" for f in program.failures
@@ -287,9 +392,10 @@ def run_flow_on_executable(
 
     profile = build_profile(exe, program, run, platform.cpi)
     synthesis = synthesis_options or SynthesisOptions(device=platform.device)
-    candidates = build_candidates(exe, program, profile, platform, synthesis)
-    partitioner = NinetyTenPartitioner(platform)
-    partition = partitioner.partition(candidates, profile.total_cycles)
+    with obs.span("flow.partition", benchmark=name):
+        candidates = build_candidates(exe, program, profile, platform, synthesis)
+        partitioner = NinetyTenPartitioner(platform)
+        partition = partitioner.partition(candidates, profile.total_cycles)
     metrics = evaluate_partition(
         platform, profile.total_cycles, partition.selected, partition.step_of
     )

@@ -26,6 +26,8 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro import obs
+
 if TYPE_CHECKING:
     from repro.flow import FlowJob, FlowReport
 
@@ -113,12 +115,15 @@ def load_report(job: FlowJob) -> FlowReport | None:
         # stale file can raise nearly anything (OSError, UnpicklingError,
         # ValueError on bad protocol bytes, AttributeError/ImportError on
         # renamed classes, ...) and every one of them is just a miss
+        obs.counter("cache.misses_total").inc()
         return None
     # sanity: a stale or foreign pickle must never poison a sweep
     from repro.flow import FlowReport
 
     if not isinstance(report, FlowReport) or report.name != job.name:
+        obs.counter("cache.misses_total").inc()
         return None
+    obs.counter("cache.hits_total").inc()
     return report
 
 
@@ -168,11 +173,30 @@ def store_report(job: FlowJob, report: FlowReport) -> None:
             except OSError:
                 pass
             raise
+        obs.counter("cache.stores_total").inc()
         # opportunistic housekeeping: a writer that made it this far can
         # afford one directory scan to reap orphans of less lucky ones
-        _sweep_stale_tmp(path.parent)
+        reaped = _sweep_stale_tmp(path.parent)
+        if reaped:
+            obs.counter("cache.stale_tmp_reaped_total").inc(reaped)
+        if obs.metrics_enabled():
+            obs.gauge("cache.bytes_on_disk").set(_bytes_on_disk(path.parent))
     except (OSError, pickle.PicklingError):
         pass
+
+
+def _bytes_on_disk(directory: Path) -> int:
+    """Total size of the published cache entries in *directory*."""
+    total = 0
+    try:
+        for entry in directory.glob("*.pkl"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+    except OSError:
+        pass
+    return total
 
 
 def clear() -> int:

@@ -1,0 +1,214 @@
+"""Process-wide metrics registry: counters, gauges, log-2 histograms.
+
+Design constraints (see :mod:`repro.obs`):
+
+* **zero-cost-off** -- when telemetry is disabled, :func:`repro.obs.counter`
+  and friends hand out the shared :data:`NULL` stub whose methods do
+  nothing; instrumented code binds its instruments once at setup and never
+  checks a flag per event.  Hot simulator loops go one step further and
+  record nothing at all until an observation point (run end, fold
+  checkpoint), so the dispatch loops carry no telemetry instructions.
+* **mergeable** -- a registry snapshots to plain JSON-able data and merges
+  snapshots back in: counters add, gauges keep the maximum (high-water
+  semantics -- the only merge that is order-independent across worker
+  processes), histograms add bucket-wise.  This is how ``run_jobs`` child
+  processes report back through the existing result plumbing.
+* **deterministic layout** -- instruments are keyed by dotted name
+  (``engine.instructions_total``); iteration and snapshots are sorted so
+  two identical runs print identical reports.
+
+Histogram buckets are fixed log-2: a value ``v > 0`` lands in the bucket
+``e`` with ``2**(e-1) <= v < 2**e`` (``math.frexp`` exponent), zero and
+negative values land in a dedicated underflow bucket.  Fixed buckets make
+merging trivial and keep ``observe()`` allocation-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL",
+    "NullInstrument",
+]
+
+#: frexp exponent used for values <= 0 (they carry no magnitude information)
+_UNDERFLOW = -1024
+
+
+class NullInstrument:
+    """Shared no-op stand-in for every instrument type when disabled.
+
+    One singleton serves counters, gauges and histograms alike, so
+    disabled call sites pay exactly one method call that does nothing.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def set_max(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+NULL = NullInstrument()
+
+
+class Counter:
+    """A monotonically increasing value (int or float)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+    def merge(self, data: dict) -> None:
+        self.value += data["value"]
+
+
+class Gauge:
+    """A point-in-time value; merges keep the maximum (high-water)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def set_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+    def merge(self, data: dict) -> None:
+        if data["value"] > self.value:
+            self.value = data["value"]
+
+
+class Histogram:
+    """Fixed log-2 bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: frexp exponent -> observation count
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        e = math.frexp(value)[1] if value > 0 else _UNDERFLOW
+        self.buckets[e] = self.buckets.get(e, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            # JSON keys must be strings; exponents round-trip via int()
+            "buckets": {str(e): c for e, c in sorted(self.buckets.items())},
+        }
+
+    def merge(self, data: dict) -> None:
+        self.count += data["count"]
+        self.total += data["total"]
+        if data.get("min") is not None and data["min"] < self.min:
+            self.min = data["min"]
+        if data.get("max") is not None and data["max"] > self.max:
+            self.max = data["max"]
+        for key, count in data.get("buckets", {}).items():
+            e = int(key)
+            self.buckets[e] = self.buckets.get(e, 0) + count
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Dotted-name -> instrument map with snapshot/merge plumbing."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str):
+        """The instrument registered under *name*, or ``None``."""
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def items(self):
+        return sorted(self._metrics.items())
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-data (JSON-able, picklable) view of every instrument."""
+        return {name: metric.snapshot() for name, metric in self.items()}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters add, gauges keep the max, histograms combine."""
+        for name, data in sorted(snapshot.items()):
+            cls = _KINDS.get(data.get("kind"))
+            if cls is None:
+                continue
+            self._get(name, cls).merge(data)

@@ -1,0 +1,198 @@
+"""Span tracing: structured events with monotonic timestamps.
+
+Two export formats from one in-memory buffer:
+
+* **JSONL** -- one JSON object per line, the structured-log view
+  (``obs.export_jsonl``); each record carries the raw Chrome fields plus
+  whatever keyword attributes the span was opened with.
+* **Chrome ``trace_event``** -- ``{"traceEvents": [...]}``, loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev (``obs.export_chrome``).
+
+Timestamps are ``time.monotonic()`` in microseconds, *not* rebased per
+process: on Linux the monotonic clock is system-wide, so events recorded
+in ``run_jobs`` worker processes line up with the parent's on one shared
+timeline (Perfetto normalizes to the earliest event, so the large absolute
+values are invisible).  Wall-time spans model what the *host* did; the
+separate :func:`timeline_trace_events` renders what the *modeled hardware*
+did -- a dynamic run's sampling intervals, CAD in flight, reconfigurations
+and per-app residency on the simulated clock, which is the timeline the
+Lysecky/Vahid-style figures are drawn in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["TraceBuffer", "timeline_trace_events"]
+
+
+def _now_us() -> float:
+    return time.monotonic() * 1e6
+
+
+class TraceBuffer:
+    """An append-only list of Chrome ``trace_event`` dicts."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def extend(self, events) -> None:
+        self.events.extend(events)
+
+    def add(self, name: str, ph: str, ts: float, *, dur: float | None = None,
+            tid: str | int | None = None, pid: str | int | None = None,
+            cat: str = "repro", args: dict | None = None) -> None:
+        event = {
+            "name": name,
+            "ph": ph,
+            "ts": ts,
+            "pid": os.getpid() if pid is None else pid,
+            "tid": "main" if tid is None else tid,
+            "cat": cat,
+        }
+        if dur is not None:
+            event["dur"] = dur
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    @contextmanager
+    def span(self, name: str, tid: str | int | None = None, **attrs):
+        """Record a complete ("X") event around the wrapped block.
+
+        The event is appended on exit -- also when the block raises, with
+        an ``error`` attribute, so failed CAD/synthesis work stays visible
+        on the timeline instead of vanishing.
+        """
+        start = _now_us()
+        try:
+            yield
+        except BaseException as exc:
+            attrs = dict(attrs, error=type(exc).__name__)
+            raise
+        finally:
+            self.add(name, "X", start, dur=_now_us() - start,
+                     tid=tid, args=attrs or None)
+
+    def instant(self, name: str, tid: str | int | None = None, **attrs) -> None:
+        # scope "t" (thread) keeps the marker on its own track's row
+        event_args = attrs or None
+        self.add(name, "i", _now_us(), tid=tid, args=event_args)
+        self.events[-1]["s"] = "t"
+
+    def counter(self, name: str, values: dict,
+                tid: str | int | None = None) -> None:
+        self.add(name, "C", _now_us(), tid=tid, args=dict(values))
+
+    # -- export -------------------------------------------------------------
+
+    def export_chrome(self, path) -> Path:
+        path = Path(path)
+        payload = {"traceEvents": self.events, "displayTimeUnit": "ms"}
+        path.write_text(json.dumps(payload) + "\n")
+        return path
+
+    def export_jsonl(self, path) -> Path:
+        path = Path(path)
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event) + "\n")
+        return path
+
+
+def timeline_trace_events(name: str, timeline, *,
+                          cad_latency_samples: int = 0,
+                          pid: str = "modeled") -> list[dict]:
+    """Chrome events for one app's :class:`DynamicTimeline`, on modeled time.
+
+    The clock is the accumulated ``wall_seconds`` of the timeline's own
+    intervals (the simulated system's wall clock), not host time -- so two
+    apps sharing a fabric render side by side in the proportions the energy
+    accounting used.  Emitted per app track (``tid=name``):
+
+    * one "X" span per sampling interval (steps/cycles/moved/overhead and
+      the resident kernel set in ``args``),
+    * one "i" instant per re-partition event (placements, evictions,
+      CAD/reconfig/migration cycles),
+    * for concurrent-CAD arrivals, an "X" span covering the
+      *cad_latency_samples* intervals the co-processor was busy,
+    * one "C" counter series of resident kernels and occupied area.
+
+    Duck-typed against ``repro.dynamic.controller`` objects (no import --
+    this module stays dependency-free below the dynamic layer).
+    """
+    events: list[dict] = []
+    clock = 0.0
+    #: modeled seconds at the *end* of interval i
+    interval_end: list[float] = []
+
+    def _at(sample: int) -> float:
+        """Modeled time when the controller had seen *sample* samples."""
+        if sample <= 0:
+            return 0.0
+        if sample <= len(interval_end):
+            return interval_end[sample - 1]
+        return clock
+
+    for interval in timeline.intervals:
+        start_us = clock * 1e6
+        dur_us = interval.wall_seconds * 1e6
+        events.append({
+            "name": f"interval {interval.index}",
+            "ph": "X", "ts": start_us, "dur": dur_us,
+            "pid": pid, "tid": name, "cat": "interval",
+            "args": {
+                "steps": interval.steps,
+                "cycles": interval.cycles,
+                "moved_cycles": interval.moved_cycles,
+                "overhead_cycles": interval.overhead_cycles,
+                "resident": list(interval.resident),
+            },
+        })
+        clock += interval.wall_seconds
+        interval_end.append(clock)
+        events.append({
+            "name": f"{name} fabric",
+            "ph": "C", "ts": start_us, "pid": pid, "tid": name,
+            "cat": "fabric",
+            "args": {"resident_kernels": len(interval.resident)},
+        })
+
+    for event in timeline.events:
+        ts = _at(event.sample) * 1e6
+        if event.concurrent and cad_latency_samples > 0:
+            start = _at(event.sample - cad_latency_samples) * 1e6
+            events.append({
+                "name": "cad.inflight",
+                "ph": "X", "ts": start, "dur": max(0.0, ts - start),
+                "pid": pid, "tid": f"{name} cad", "cat": "cad",
+                "args": {"cad_cycles": event.cad_cycles,
+                         "placed": list(event.placed)},
+            })
+        events.append({
+            "name": "repartition",
+            "ph": "i", "ts": ts, "s": "t",
+            "pid": pid, "tid": name, "cat": "repartition",
+            "args": {
+                "sample": event.sample,
+                "placed": list(event.placed),
+                "evicted": list(event.evicted),
+                "cad_cycles": event.cad_cycles,
+                "reconfig_cycles": event.reconfig_cycles,
+                "migration_cycles": event.migration_cycles,
+                "regions_changed": event.regions_changed,
+                "concurrent": event.concurrent,
+                "area_used": event.area_used,
+            },
+        })
+    return events

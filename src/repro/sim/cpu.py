@@ -58,10 +58,12 @@ the straight-line reference interpreter in :mod:`repro.sim.reference`.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import repeat
 
+from repro import obs
 from repro.binary.image import Executable
 from repro.binary.loader import load_into_memory
 from repro.errors import SimulationError
@@ -743,6 +745,7 @@ class Cpu:
         if pc & 3 or not 0 <= index < text_len:
             raise SimulationError(f"pc outside text section: 0x{pc:08x}")
 
+        run_started = time.monotonic()
         if self._sb is not None:
             index, halted = self._run_superblock(index, counts, max_steps)
         else:
@@ -754,7 +757,10 @@ class Cpu:
         if not halted:
             raise SimulationError(f"exceeded max_steps={max_steps} (pc=0x{pc:08x})")
 
-        return self._gather(counts)
+        result = self._gather(counts)
+        if obs.metrics_enabled():
+            self._observe_run(result, time.monotonic() - run_started)
+        return result
 
     def run_sampled(self, max_steps: int = 100_000_000,
                     sample_interval: int = 4_000):
@@ -800,6 +806,7 @@ class Cpu:
             entries = sb.entries
             materialize = sb.materialize
         halted = False
+        run_started = time.monotonic()
         remaining = max_steps
         try:
             while remaining > 0:
@@ -850,7 +857,47 @@ class Cpu:
             raise SimulationError(
                 f"exceeded max_steps={max_steps} (pc=0x{self.pc:08x})"
             )
-        return self._gather(counts)
+        result = self._gather(counts)
+        if obs.metrics_enabled():
+            self._observe_run(result, time.monotonic() - run_started)
+        return result
+
+    def _observe_run(self, result: RunResult, wall_seconds: float) -> None:
+        """Fold one finished run into the process metrics registry.
+
+        Called only when telemetry is on, and only at run end: every
+        figure is derived from counter state the dispatch loops maintain
+        anyway (``bcounts`` reset per run, cumulative table stats read
+        through a watermark), so the hot paths carry zero extra work.
+        """
+        obs.counter("engine.runs_total").inc()
+        obs.counter(f"engine.runs.{self._engine}").inc()
+        obs.counter("engine.instructions_total").inc(result.steps)
+        obs.counter("engine.cycles_total").inc(result.cycles)
+        if wall_seconds > 0:
+            obs.histogram("engine.run_seconds").observe(wall_seconds)
+        sb = self._sb
+        if sb is None:
+            return
+        unit_instr, trace_instr = sb.tier_breakdown()
+        obs.counter("engine.instructions_in_blocks").inc(unit_instr)
+        obs.counter("engine.instructions_in_traces").inc(trace_instr)
+        obs.counter("engine.instructions_stepped").inc(
+            max(0, result.steps - unit_instr - trace_instr)
+        )
+        obs.gauge("engine.traces_installed").set_max(len(sb.traces))
+        obs.counter("engine.trace_guard_exits_total").inc(
+            sum(info.guard_exits for info in sb.traces)
+        )
+        delta = sb.consume_stats()
+        obs.counter("engine.counter_spills_total").inc(delta["spills"])
+        obs.counter("engine.counter_reheats_total").inc(delta["reheats"])
+        obs.counter("engine.trace_builds_total").inc(delta["trace_builds"])
+        obs.counter("engine.codegen_units_total").inc(delta["codegen_units"])
+        obs.counter("engine.codegen_lines_total").inc(delta["codegen_lines"])
+        seconds = delta["codegen_seconds"]
+        if seconds > 0:
+            obs.histogram("engine.codegen_seconds").observe(seconds)
 
     def _run_threaded(
         self, index: int, counts: list[int], max_steps: int,

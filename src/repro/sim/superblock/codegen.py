@@ -195,6 +195,9 @@ class Codegen:
         self.text_len = text_len
         self.profile = profile
         self.escape_slots = escape_slots
+        #: emission volume, read by the telemetry layer at run end
+        self.units_emitted = 0
+        self.lines_emitted = 0
 
     # -- whole units ---------------------------------------------------------
 
@@ -259,6 +262,8 @@ class Codegen:
         if decoded[final_start + final_len - 1].mnemonic not in CONTROL_TRANSFERS:
             lines.extend(body + stmt for stmt in env.flush())
             lines.append(f"{body}return {final_start + final_len}")
+        self.units_emitted += 1
+        self.lines_emitted += len(lines)
         return lines
 
     # -- pieces --------------------------------------------------------------

@@ -39,6 +39,7 @@ arrays the rest of the simulator derives statistics from.
 from __future__ import annotations
 
 import weakref
+from time import perf_counter
 
 from repro.errors import SimulationError
 from repro.sim.cpu import _Halt
@@ -138,6 +139,15 @@ class SuperblockTable:
         self._home: dict[int, int] = {}
         self._counting: dict[int, object] = {}
         self.spilled = 0
+        self.reheats = 0
+
+        #: cumulative generated-code cost (leader build, materialize,
+        #: trace builds/replays); always-on -- a couple of perf_counter
+        #: calls around each rare compile, nothing in dispatch
+        self.codegen_seconds = 0.0
+        self.trace_builds = 0
+        #: watermark for :meth:`consume_stats`
+        self._obs_seen: dict[str, float] = {}
 
         #: trace tier state (populated by :meth:`build_traces`)
         self.traces: list = []
@@ -262,12 +272,14 @@ class SuperblockTable:
         """
         segments = ((index, self.suffix_len[index]),)
         bid = self._new_bid(segments)
+        started = perf_counter()
         source = _FACTORY + "\n"
         source += "\n".join(self._cg.emit_unit("_b", segments, bid, "    ")) + "\n"
         source += "    return _b\n"
         namespace: dict = {}
         exec(compile(source, f"<superblock@{index}>", "exec"), namespace)
         fn = namespace["_factory"](**self._ns)
+        self.codegen_seconds += perf_counter() - started
         total = sum(length for _, length in segments)
         entry = (total, fn)
         self.entries[index] = entry
@@ -286,8 +298,54 @@ class SuperblockTable:
         Returns whether trace capacity remains (``False`` ends warmup).
         """
         self.traces_built = True
+        self.trace_builds += 1
+        started = perf_counter()
         install_traces(self, counts, self._taken_arr)
+        self.codegen_seconds += perf_counter() - started
         return len(self.traces) < MAX_TRACES
+
+    # -- telemetry (run-end introspection; nothing here runs in dispatch) ----
+
+    def tier_breakdown(self) -> tuple[int, int]:
+        """(unit-tier, trace-tier) instructions in this run's counters.
+
+        Unit-tier instructions come from the units with a dispatch slot
+        (leader chains and materialized suffixes, via ``_home``); trace
+        instructions from the installed traces' own counters.  The two
+        bid sets are disjoint, and whatever remains of ``RunResult.steps``
+        was single-stepped through the threaded handlers.  ``bcounts``
+        reset at run start and survive folds (the fold uses watermarks),
+        so this is exact per run.
+        """
+        bcounts = self.bcounts
+        members = self.members
+        unit = 0
+        for bid, _home in self._home.items():
+            c = bcounts[bid]
+            if c:
+                unit += c * sum(length for _, length in members[bid])
+        trace = sum(info.instructions for info in self.traces)
+        return unit, trace
+
+    def consume_stats(self) -> dict:
+        """Telemetry deltas since the previous call.
+
+        The underlying attributes (``spilled``, ``reheats``,
+        ``codegen_seconds``, ...) are cumulative over the table's
+        lifetime and shared with introspection; the watermark here lets
+        per-run metrics charge each run only its own share.
+        """
+        stats = {
+            "spills": self.spilled,
+            "reheats": self.reheats,
+            "trace_builds": self.trace_builds,
+            "codegen_seconds": self.codegen_seconds,
+            "codegen_units": self._cg.units_emitted,
+            "codegen_lines": self._cg.lines_emitted,
+        }
+        seen = self._obs_seen
+        self._obs_seen = stats
+        return {key: value - seen.get(key, 0) for key, value in stats.items()}
 
     # -- construction ------------------------------------------------------
 
@@ -302,6 +360,7 @@ class SuperblockTable:
         dead placeholders here -- memberless, never bumped, never
         scanned (not in :attr:`live`).
         """
+        started = perf_counter()
         for bid, members, tsites in artifact["bids"]:
             while len(self.members) < bid:
                 self.members.append(())
@@ -325,6 +384,7 @@ class SuperblockTable:
                 bound = cap
         self.call_bound = bound
         self.traces_built = True
+        self.codegen_seconds += perf_counter() - started
 
     def _chain_segments(self, start: int) -> list[tuple[int, int]]:
         """The fused j-chain starting at *start*, as (start, length) runs.
@@ -368,6 +428,7 @@ class SuperblockTable:
 
     def _build_leader_units(self) -> None:
         """Generate one module containing a function per leader chain."""
+        started = perf_counter()
         lines = [_FACTORY, "    fns = {}"]
         registry: list[tuple[int, int, int]] = []  # (start, bid, total)
         for start in sorted(self.leaders):
@@ -389,6 +450,7 @@ class SuperblockTable:
             self.fns[start] = fn
             self._home[bid] = start
             self._counting[bid] = fn
+        self.codegen_seconds += perf_counter() - started
 
     # -- cold-counter spill --------------------------------------------------
 
@@ -411,6 +473,8 @@ class SuperblockTable:
         cold = self._cold
         live = self.live
 
+        table = self
+
         def reheat():
             # re-install the counting fn *before* executing, so the unit
             # is counted from this very call and rejoins the fold scan
@@ -421,6 +485,7 @@ class SuperblockTable:
                 fns[home] = counting
             cold[bid] = 0
             live.append(bid)
+            table.reheats += 1
             return counting()
 
         entries[home] = (n, reheat)

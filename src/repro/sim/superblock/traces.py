@@ -141,6 +141,17 @@ class TraceInfo:
             for bid in self._bids
         )
 
+    @property
+    def guard_exits(self) -> int:
+        """Times a guarded side exit left the trace early.
+
+        The first ``guards`` call bids are the guard-exit counters, in
+        guard order (see ``_emit_one``); the remainder count full passes
+        (and, for loops, the conditional-back exit).
+        """
+        bcounts = self._table.bcounts
+        return sum(bcounts[bid] for bid in self._call_bids[:self.guards])
+
 
 # -- planning ----------------------------------------------------------------
 

@@ -1,0 +1,19 @@
+"""Shared telemetry fixture: enabled obs with clean state, torn down off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def telemetry(tmp_path, monkeypatch):
+    """Telemetry on, clean registry/buffer, stats under tmp_path."""
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+    monkeypatch.delenv(obs.ENABLE_ENV, raising=False)
+    obs.clear_metrics()
+    obs.clear_trace()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.clear_metrics()
+    obs.clear_trace()

@@ -1,0 +1,156 @@
+"""The metrics registry: instruments, log-2 buckets, snapshot/merge."""
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullInstrument,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge_set_and_set_max(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set_max(3)
+        assert g.value == 5
+        g.set_max(9)
+        assert g.value == 9
+        g.set(1)
+        assert g.value == 1
+
+    def test_histogram_stats(self):
+        h = Histogram("h")
+        for v in (1.5, 3.0, 0.25):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(4.75)
+        assert h.min == 0.25
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(4.75 / 3)
+
+    def test_histogram_log2_buckets(self):
+        h = Histogram("h")
+        # bucket e covers [2**(e-1), 2**e)
+        h.observe(1.0)    # [1, 2)   -> e=1
+        h.observe(1.9)    # [1, 2)   -> e=1
+        h.observe(2.0)    # [2, 4)   -> e=2
+        h.observe(0.5)    # [0.5, 1) -> e=0
+        assert h.buckets == {0: 1, 1: 2, 2: 1}
+
+    def test_histogram_underflow_bucket(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(-1.0)
+        snap = h.snapshot()
+        [bucket] = snap["buckets"]
+        assert int(bucket) < -1000
+        assert snap["buckets"][bucket] == 2
+
+    def test_null_instrument_is_inert(self):
+        NULL.inc()
+        NULL.inc(5)
+        NULL.set(3)
+        NULL.set_max(3)
+        NULL.observe(1.0)
+        assert isinstance(NULL, NullInstrument)
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            r.gauge("a")
+
+    def test_snapshot_is_sorted_plain_data(self):
+        r = MetricsRegistry()
+        r.counter("b.x").inc(2)
+        r.gauge("a.y").set(7)
+        snap = r.snapshot()
+        assert list(snap) == ["a.y", "b.x"]
+        assert snap["b.x"] == {"kind": "counter", "value": 2}
+        assert snap["a.y"] == {"kind": "gauge", "value": 7}
+
+    def test_merge_semantics(self):
+        parent = MetricsRegistry()
+        parent.counter("jobs").inc(3)
+        parent.gauge("peak").set(10)
+        parent.histogram("lat").observe(1.0)
+
+        child = MetricsRegistry()
+        child.counter("jobs").inc(2)
+        child.gauge("peak").set(25)
+        child.histogram("lat").observe(4.0)
+        child.counter("only_child").inc()
+
+        parent.merge(child.snapshot())
+        assert parent.counter("jobs").value == 5           # counters add
+        assert parent.gauge("peak").value == 25            # gauges keep max
+        lat = parent.histogram("lat")
+        assert lat.count == 2 and lat.max == 4.0           # histograms combine
+        assert parent.counter("only_child").value == 1
+
+    def test_merge_gauge_keeps_higher_local_value(self):
+        parent = MetricsRegistry()
+        parent.gauge("peak").set(100)
+        child = MetricsRegistry()
+        child.gauge("peak").set(10)
+        parent.merge(child.snapshot())
+        assert parent.gauge("peak").value == 100
+
+    def test_merge_is_snapshot_roundtrip_safe(self):
+        # merging a snapshot of a merge equals merging twice (bucket keys
+        # survive the str round-trip JSON forces on them)
+        a = MetricsRegistry()
+        a.histogram("h").observe(3.0)
+        b = MetricsRegistry()
+        b.merge(a.snapshot())
+        b.merge(a.snapshot())
+        assert b.histogram("h").count == 2
+        assert b.histogram("h").buckets == {2: 2}
+
+    def test_clear(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.clear()
+        assert len(r) == 0
+
+
+class TestModuleToggle:
+    def test_disabled_hands_out_null(self):
+        obs.disable()
+        try:
+            assert obs.counter("x") is NULL
+            assert obs.gauge("x") is NULL
+            assert obs.histogram("x") is NULL
+            assert len(obs.registry()) == 0
+        finally:
+            obs.clear_metrics()
+
+    def test_enabled_hands_out_real_instruments(self, telemetry):
+        c = obs.counter("x")
+        assert c is not NULL
+        c.inc()
+        assert obs.registry().get("x").value == 1
+
+    def test_merge_snapshot_into_module_registry(self, telemetry):
+        other = MetricsRegistry()
+        other.counter("pool.jobs_total").inc(4)
+        obs.merge_snapshot(other.snapshot())
+        assert obs.registry().get("pool.jobs_total").value == 4

@@ -1,0 +1,131 @@
+"""Span tracing: buffer semantics, Chrome export, modeled-time rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import TraceBuffer, timeline_trace_events
+
+
+class TestTraceBuffer:
+    def test_span_records_complete_event(self):
+        buf = TraceBuffer()
+        with buf.span("cad.synthesize", kernel="fir_loop"):
+            pass
+        [event] = buf.events
+        assert event["name"] == "cad.synthesize"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["args"] == {"kernel": "fir_loop"}
+
+    def test_span_survives_exception_and_tags_error(self):
+        buf = TraceBuffer()
+        with pytest.raises(ValueError):
+            with buf.span("flow.compile"):
+                raise ValueError("boom")
+        [event] = buf.events
+        assert event["args"]["error"] == "ValueError"
+
+    def test_timestamps_are_monotonic(self):
+        buf = TraceBuffer()
+        with buf.span("a"):
+            pass
+        buf.instant("b")
+        first, second = buf.events
+        assert second["ts"] >= first["ts"]
+
+    def test_instant_and_counter_phases(self):
+        buf = TraceBuffer()
+        buf.instant("pool.serial_fallback", cause="OSError")
+        buf.counter("fabric", {"resident": 3})
+        instant, counter = buf.events
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert counter["ph"] == "C" and counter["args"] == {"resident": 3}
+
+    def test_export_chrome_is_loadable_json(self, tmp_path):
+        buf = TraceBuffer()
+        with buf.span("x"):
+            pass
+        path = buf.export_chrome(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"][0]["name"] == "x"
+
+    def test_export_jsonl_one_object_per_line(self, tmp_path):
+        buf = TraceBuffer()
+        buf.instant("a")
+        buf.instant("b")
+        path = buf.export_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_extend_and_clear(self):
+        buf = TraceBuffer()
+        buf.extend([{"name": "imported", "ph": "i", "ts": 0.0}])
+        assert len(buf) == 1
+        buf.clear()
+        assert len(buf) == 0
+
+
+class _Interval:
+    def __init__(self, index, wall_seconds, resident=()):
+        self.index = index
+        self.steps = 4000
+        self.cycles = 5000
+        self.moved_cycles = 0
+        self.overhead_cycles = 0
+        self.wall_seconds = wall_seconds
+        self.resident = list(resident)
+
+
+class _Event:
+    def __init__(self, sample, concurrent=False):
+        self.sample = sample
+        self.placed = ["k"]
+        self.evicted = []
+        self.cad_cycles = 8000
+        self.reconfig_cycles = 3000
+        self.migration_cycles = 0
+        self.regions_changed = 1
+        self.concurrent = concurrent
+        self.area_used = 1000.0
+
+
+class _Timeline:
+    def __init__(self, intervals, events):
+        self.intervals = intervals
+        self.events = events
+
+
+class TestTimelineTraceEvents:
+    def test_intervals_render_on_modeled_clock(self):
+        timeline = _Timeline(
+            [_Interval(0, 0.5), _Interval(1, 0.25, resident=["k"])], []
+        )
+        events = timeline_trace_events("app", timeline)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans[0]["ts"] == 0.0 and spans[0]["dur"] == pytest.approx(5e5)
+        assert spans[1]["ts"] == pytest.approx(5e5)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters[1]["args"] == {"resident_kernels": 1}
+
+    def test_repartition_instant_lands_at_its_sample(self):
+        timeline = _Timeline(
+            [_Interval(0, 1.0), _Interval(1, 1.0)], [_Event(sample=1)]
+        )
+        events = timeline_trace_events("app", timeline)
+        [instant] = [e for e in events if e["ph"] == "i"]
+        assert instant["ts"] == pytest.approx(1e6)
+        assert instant["args"]["placed"] == ["k"]
+
+    def test_concurrent_cad_gets_inflight_span(self):
+        timeline = _Timeline(
+            [_Interval(i, 1.0) for i in range(4)],
+            [_Event(sample=3, concurrent=True)],
+        )
+        events = timeline_trace_events("app", timeline,
+                                       cad_latency_samples=2)
+        [cad] = [e for e in events if e["name"] == "cad.inflight"]
+        assert cad["ts"] == pytest.approx(1e6)
+        assert cad["dur"] == pytest.approx(2e6)
+        assert cad["tid"] == "app cad"

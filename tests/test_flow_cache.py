@@ -6,7 +6,7 @@ import time
 
 import pytest
 
-from repro import flow_cache
+from repro import flow_cache, obs
 from repro.flow import FlowJob, run_flows
 from repro.platform import MIPS_200MHZ, MIPS_40MHZ
 from repro.programs import get_benchmark
@@ -136,6 +136,60 @@ class TestCorruption:
         [path] = list((cache_dir / "flow").glob("*.pkl"))
         path.write_bytes(pickle.dumps({"not": "a report"}))
         assert flow_cache.load_report(job) is None
+
+
+class TestCacheTelemetry:
+    """Hit/miss/store counters and the housekeeping instruments."""
+
+    @pytest.fixture()
+    def telemetry(self):
+        obs.clear_metrics()
+        obs.enable(metrics=True, tracing=False)
+        yield obs
+        obs.disable()
+        obs.clear_metrics()
+
+    @staticmethod
+    def _count(name):
+        metric = obs.registry().get(name)
+        return metric.value if metric is not None else 0
+
+    def test_miss_store_then_hit(self, cache_dir, telemetry):
+        job = _job()
+        run_flows([job], max_workers=1)
+        assert self._count("cache.misses_total") == 1
+        assert self._count("cache.stores_total") == 1
+        assert self._count("cache.hits_total") == 0
+        run_flows([job], max_workers=1)
+        assert self._count("cache.hits_total") == 1
+        assert self._count("cache.misses_total") == 1
+        assert self._count("cache.stores_total") == 1
+
+    def test_corrupt_entry_counts_as_miss(self, cache_dir, telemetry):
+        job = _job()
+        run_flows([job], max_workers=1)
+        [path] = list((cache_dir / "flow").glob("*.pkl"))
+        path.write_bytes(b"not a pickle")
+        assert flow_cache.load_report(job) is None
+        assert self._count("cache.misses_total") == 2   # initial + corrupt
+
+    def test_store_reports_reaped_tmp_and_disk_bytes(self, cache_dir,
+                                                     telemetry):
+        flow = cache_dir / "flow"
+        TestTmpSweep._plant_tmp(flow, "crashed-1.tmp", age_seconds=7200)
+        TestTmpSweep._plant_tmp(flow, "crashed-2.tmp", age_seconds=4000)
+        run_flows([_job()], max_workers=1)
+        assert self._count("cache.stale_tmp_reaped_total") == 2
+        [stored] = list(flow.glob("*.pkl"))
+        assert obs.registry().get("cache.bytes_on_disk").value \
+            == stored.stat().st_size
+
+    def test_disabled_cache_ops_register_nothing(self, cache_dir):
+        obs.disable()
+        obs.clear_metrics()
+        run_flows([_job()], max_workers=1)
+        run_flows([_job()], max_workers=1)
+        assert len(obs.registry()) == 0
 
 
 class TestMixedBatches:
