@@ -139,7 +139,9 @@ class FlowJob:
     max_steps: int = 200_000_000
 
 
-def _execute_job(job: FlowJob) -> FlowReport:
+def execute_flow_job(job: FlowJob) -> FlowReport:
+    """Run one :class:`FlowJob` to completion (picklable pool worker; the
+    sweep runner and the partitioning service both fan out over it)."""
     return run_flow(
         job.source,
         job.name,
@@ -147,6 +149,10 @@ def _execute_job(job: FlowJob) -> FlowReport:
         platform=job.platform,
         max_steps=job.max_steps,
     )
+
+
+#: backwards-compatible alias (the pool pickles workers by reference)
+_execute_job = execute_flow_job
 
 
 class _JobFailure(Exception):

@@ -6,8 +6,12 @@ reloaded by any later session -- repeated sweeps (``python -m repro sweep``,
 ``benchmarks/``, ``examples/full_study.py``) then skip the expensive
 compile -> simulate -> decompile -> synthesize pipeline entirely.
 
-Layout: one pickle per report under ``~/.cache/repro/flow/`` (override the
-root with ``REPRO_CACHE_DIR``), file name = SHA-256 of the canonical key.
+Storage is the sharded concurrency-safe store from
+:mod:`repro.service.store`: entries live under 256 two-hex-char shard
+subdirectories of ``~/.cache/repro/flow/`` (override the root with
+``REPRO_CACHE_DIR``), file name = SHA-256 of the canonical key, published
+with atomic renames so many service workers can read and write the same
+store at once, and LRU-evicted under ``REPRO_CACHE_BUDGET`` (e.g. ``64M``).
 The key includes the package version *and* a fingerprint of the package's
 own source files (path, size, mtime), so editing any ``repro`` module
 invalidates every stale entry at once -- a mid-development code change can
@@ -21,18 +25,24 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
-import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro import obs
+from repro.service.store import (
+    BUDGET_ENV,
+    STALE_TMP_SECONDS,
+    ShardedStore,
+    get_store,
+    parse_budget,
+    sweep_stale_tmp as _sweep_stale_tmp,  # noqa: F401  (re-export for tests)
+)
 
 if TYPE_CHECKING:
     from repro.flow import FlowJob, FlowReport
 
 #: bump to invalidate all cached reports after a format change
-CACHE_FORMAT = 1
+#: (2: flat directory -> sharded store layout)
+CACHE_FORMAT = 2
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_TOGGLE_ENV = "REPRO_CACHE"
@@ -50,6 +60,16 @@ def cache_dir() -> Path:
     if root:
         return Path(root) / "flow"
     return Path.home() / ".cache" / "repro" / "flow"
+
+
+def cache_budget() -> int | None:
+    """The ``REPRO_CACHE_BUDGET`` size budget in bytes (``None`` = none)."""
+    return parse_budget(os.environ.get(BUDGET_ENV))
+
+
+def store() -> ShardedStore:
+    """The process-wide sharded store backing the flow cache."""
+    return get_store(cache_dir(), cache_budget())
 
 
 def _source_fingerprint() -> str:
@@ -102,108 +122,45 @@ def job_key(job: FlowJob) -> str:
 
 
 def _path_for(job: FlowJob) -> Path:
-    return cache_dir() / f"{job_key(job)}.pkl"
+    return store().path_for(job_key(job))
 
 
 def load_report(job: FlowJob) -> FlowReport | None:
     """Cached report for *job*, or ``None`` on any kind of miss."""
-    try:
-        with open(_path_for(job), "rb") as fh:
-            report = pickle.load(fh)
-    except Exception:
-        # a cache read must never break a sweep: unpickling a corrupt or
-        # stale file can raise nearly anything (OSError, UnpicklingError,
-        # ValueError on bad protocol bytes, AttributeError/ImportError on
-        # renamed classes, ...) and every one of them is just a miss
-        obs.counter("cache.misses_total").inc()
-        return None
-    # sanity: a stale or foreign pickle must never poison a sweep
-    from repro.flow import FlowReport
 
-    if not isinstance(report, FlowReport) or report.name != job.name:
-        obs.counter("cache.misses_total").inc()
-        return None
-    obs.counter("cache.hits_total").inc()
-    return report
+    def decode(data: bytes) -> FlowReport:
+        # unpickling a corrupt or stale file can raise nearly anything
+        # (OSError, UnpicklingError, ValueError on bad protocol bytes,
+        # AttributeError/ImportError on renamed classes, ...); the store
+        # counts every failure as a miss and discards the entry.  A stale
+        # or foreign pickle must never poison a sweep, so the type and
+        # name are checked here, inside the same miss accounting.
+        from repro.flow import FlowReport
 
+        report = pickle.loads(data)
+        if not isinstance(report, FlowReport) or report.name != job.name:
+            raise ValueError("foreign cache entry")
+        return report
 
-#: a ``*.tmp`` scratch file older than this is an orphan from a crashed
-#: writer (a live ``store_report`` publishes or unlinks within seconds)
-STALE_TMP_SECONDS = 3600.0
-
-
-def _sweep_stale_tmp(directory: Path, max_age: float = STALE_TMP_SECONDS) -> int:
-    """Remove ``*.tmp`` orphans left by crashed writers; returns the count.
-
-    ``store_report`` publishes via ``mkstemp`` + ``os.replace`` and unlinks
-    its scratch file on any error, but a writer killed between the two
-    (OOM, SIGKILL, power loss) leaks the ``.tmp`` forever.  Only files
-    older than *max_age* are touched so a concurrent writer's in-flight
-    scratch file is never yanked away.
-    """
-    removed = 0
-    now = time.time()
-    try:
-        for entry in directory.glob("*.tmp"):
-            try:
-                if now - entry.stat().st_mtime >= max_age:
-                    entry.unlink()
-                    removed += 1
-            except OSError:
-                pass
-    except OSError:
-        pass
-    return removed
+    return store().load(job_key(job), decode)
 
 
 def store_report(job: FlowJob, report: FlowReport) -> None:
     """Persist *report*; failures are silently ignored (cache, not storage)."""
-    path = _path_for(job)
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # atomic publish: other processes only ever see complete pickles
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(report, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        obs.counter("cache.stores_total").inc()
-        # opportunistic housekeeping: a writer that made it this far can
-        # afford one directory scan to reap orphans of less lucky ones
-        reaped = _sweep_stale_tmp(path.parent)
-        if reaped:
-            obs.counter("cache.stale_tmp_reaped_total").inc(reaped)
-        if obs.metrics_enabled():
-            obs.gauge("cache.bytes_on_disk").set(_bytes_on_disk(path.parent))
-    except (OSError, pickle.PicklingError):
-        pass
-
-
-def _bytes_on_disk(directory: Path) -> int:
-    """Total size of the published cache entries in *directory*."""
-    total = 0
-    try:
-        for entry in directory.glob("*.pkl"):
-            try:
-                total += entry.stat().st_size
-            except OSError:
-                pass
-    except OSError:
-        pass
-    return total
+        data = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return
+    store().store(job_key(job), data)
 
 
 def clear() -> int:
     """Delete every cached report (and any ``*.tmp`` writer scratch files,
     whatever their age -- clearing the cache is explicit); returns the
     number of files removed."""
-    removed = 0
+    removed = store().clear()
+    # legacy flat-layout entries from the pre-sharded cache land in the
+    # root itself; clearing is the one operation that still owes them
     try:
         for pattern in ("*.pkl", "*.tmp"):
             for entry in cache_dir().glob(pattern):

@@ -12,6 +12,7 @@ from repro.platform.platform import (
     MIPS_200MHZ,
     MIPS_400MHZ,
     MIPS_40MHZ,
+    NAMED_PLATFORMS,
     SOFT_CORES,
     SOFTCORE_50MHZ,
     SOFTCORE_85MHZ,
@@ -32,6 +33,7 @@ __all__ = [
     "MIPS_200MHZ",
     "MIPS_400MHZ",
     "MIPS_40MHZ",
+    "NAMED_PLATFORMS",
     "SOFT_CORES",
     "SOFTCORE_50MHZ",
     "SOFTCORE_85MHZ",

@@ -112,3 +112,13 @@ SOFTCORE_50MHZ = Platform(
 )
 
 SOFT_CORES = [SOFTCORE_85MHZ, SOFTCORE_50MHZ]
+
+#: CLI/service platform registry: the short names `python -m repro sweep`,
+#: `python -m repro dynamic` and the partitioning service accept on the wire
+NAMED_PLATFORMS: dict[str, Platform] = {
+    "mips40": MIPS_40MHZ,
+    "mips200": MIPS_200MHZ,
+    "mips400": MIPS_400MHZ,
+    "softcore85": SOFTCORE_85MHZ,
+    "softcore50": SOFTCORE_50MHZ,
+}

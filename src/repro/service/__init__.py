@@ -1,0 +1,28 @@
+"""``repro.service`` -- partitioning as a long-lived service.
+
+The library and CLI entry points run one flow per invocation; this package
+serves partitioning jobs continuously to many clients and tenants:
+
+* :mod:`repro.service.store` -- sharded, concurrency-safe on-disk store
+  (atomic-rename writes, lock-free reads, LRU eviction under
+  ``REPRO_CACHE_BUDGET``) that also backs :mod:`repro.flow_cache`.
+* :mod:`repro.service.protocol` -- the newline-delimited JSON wire
+  protocol: request parsing/validation and event construction.
+* :mod:`repro.service.dedupe` -- cache-first admission and coalescing of
+  identical in-flight jobs, so one computation serves every duplicate.
+* :mod:`repro.service.queue` -- bounded priority queue with per-tenant
+  round-robin fairness, plus the dispatcher thread bridging the asyncio
+  front-end onto the :func:`repro.flow.run_jobs` process pool.
+* :mod:`repro.service.server` -- the asyncio front-end (TCP or unix
+  socket) streaming per-job status events.
+* :mod:`repro.service.client` -- a blocking client used by
+  ``python -m repro submit``, the benchmarks, and the tests.
+
+Only the store is imported eagerly (``repro.flow_cache`` depends on it);
+the server stack imports :mod:`repro.flow` and stays lazy so importing
+``repro.service`` never drags the whole pipeline in.
+"""
+
+from repro.service.store import ShardedStore, get_store, parse_budget
+
+__all__ = ["ShardedStore", "get_store", "parse_budget"]

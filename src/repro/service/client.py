@@ -1,0 +1,188 @@
+"""Blocking client for the partitioning service.
+
+Used by ``python -m repro submit``, the load-generator benchmark, and the
+tests.  One client = one connection; events for the client's jobs stream
+back on it.  The client validates the protocol's per-job ``seq`` ordering
+as it reads -- out-of-order delivery is a server bug worth failing loudly
+on, and CI's ``service-smoke`` leans on exactly that check.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, Iterable
+
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError", "FINAL_EVENTS"]
+
+#: events that end a job's stream
+FINAL_EVENTS = frozenset(
+    {"done", "error", "rejected", "cancelled", "timeout"}
+)
+
+
+class ServiceError(RuntimeError):
+    """Connection/protocol-level failure talking to the service."""
+
+
+class ServiceClient:
+    """Newline-delimited JSON over TCP or a unix socket, blocking."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = protocol.DEFAULT_PORT,
+                 socket_path: str | None = None,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        #: job id -> next expected seq (the ordering assertion)
+        self._next_seq: dict[int, int] = {}
+
+    # -- connection ----------------------------------------------------
+
+    def connect(self, wait_ready: float = 0.0) -> "ServiceClient":
+        """Connect, optionally retrying for *wait_ready* seconds (lets CI
+        race a just-forked server without sleep loops in shell)."""
+        deadline = time.monotonic() + wait_ready
+        while True:
+            try:
+                if self.socket_path:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(self.socket_path)
+                else:
+                    sock = socket.create_connection(
+                        (self.host, self.port), timeout=self.timeout
+                    )
+                break
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"cannot reach service at {self.where()}: {exc}"
+                    ) from exc
+                time.sleep(0.1)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def where(self) -> str:
+        if self.socket_path:
+            return f"unix:{self.socket_path}"
+        return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire ----------------------------------------------------------
+
+    def send(self, payload: dict) -> None:
+        if self._file is None:
+            raise ServiceError("not connected")
+        try:
+            self._file.write(protocol.encode(payload))
+            self._file.flush()
+        except OSError as exc:
+            raise ServiceError(f"send failed: {exc}") from exc
+
+    def read_event(self) -> dict:
+        """The next event line, with per-job seq ordering asserted."""
+        if self._file is None:
+            raise ServiceError("not connected")
+        try:
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(f"read failed: {exc}") from exc
+        if not line:
+            raise ServiceError("service closed the connection")
+        event = protocol.decode(line)
+        job_id = event.get("job")
+        if job_id is not None and "seq" in event:
+            expected = self._next_seq.get(job_id, 0)
+            if event["seq"] != expected:
+                raise ServiceError(
+                    f"job {job_id}: event {event.get('event')!r} arrived "
+                    f"with seq {event['seq']}, expected {expected} -- "
+                    "events out of order"
+                )
+            self._next_seq[job_id] = expected + 1
+        return event
+
+    # -- requests ------------------------------------------------------
+
+    def ping(self) -> dict:
+        self.send({"op": "ping"})
+        return self._read_until({"pong"})
+
+    def stats(self) -> dict:
+        """The server's live stats payload (telemetry registry included)."""
+        self.send({"op": "stats"})
+        return self._read_until({"stats"})
+
+    def cancel(self, job_id: int) -> bool:
+        self.send({"op": "cancel", "job": job_id})
+        return bool(self._read_until({"cancel_result"}).get("ok"))
+
+    def _read_until(self, events: set) -> dict:
+        while True:
+            event = self.read_event()
+            if event.get("event") in events:
+                return event
+            if event.get("event") == "protocol_error":
+                raise ServiceError(event.get("message", "protocol error"))
+
+    # -- submissions ---------------------------------------------------
+
+    def submit(self, on_event: Callable[[dict], None] | None = None,
+               **payload) -> dict:
+        """Submit one job and block until its final event."""
+        results = self.submit_batch([payload], on_event=on_event,
+                                    tenant=payload.get("tenant"))
+        return next(iter(results.values()))
+
+    def submit_batch(self, jobs: Iterable[dict], tenant: str | None = None,
+                     on_event: Callable[[dict], None] | None = None) -> dict:
+        """Submit *jobs* as one batch; streams events until ``batch_done``.
+
+        Returns ``{job_id: final_event}``.  *on_event* sees every event as
+        it arrives (the CLI uses it for live progress lines).
+        """
+        request: dict = {"op": "batch", "jobs": list(jobs)}
+        if tenant:
+            request["tenant"] = tenant
+        self.send(request)
+        finals: dict[int, dict] = {}
+        while True:
+            event = self.read_event()
+            if on_event is not None:
+                on_event(event)
+            kind = event.get("event")
+            if kind in FINAL_EVENTS:
+                finals[event["job"]] = event
+            elif kind == "batch_done":
+                return finals
+            elif kind == "protocol_error" and "batch" not in event:
+                raise ServiceError(event.get("message", "protocol error"))

@@ -1,0 +1,85 @@
+"""Admission-time dedup: cache first, then coalesce identical in-flight jobs.
+
+Warp-style on-the-fly partitioning only pays off when a configuration that
+was computed once is *reused*; for a multi-tenant service that means two
+layers in front of the workers:
+
+1. **Cache consult** -- a submission whose :func:`repro.flow_cache.job_key`
+   is already in the sharded store is answered immediately, no queue, no
+   worker (``service.cache_served_total``).
+2. **In-flight coalescing** -- a submission identical to one already
+   queued or running attaches to it instead of enqueuing a duplicate; when
+   the leader finishes, every follower is resolved from the same result
+   (``service.coalesced_total``).  A thousand users submitting the same
+   kernel costs one worker execution.
+
+The coalescer is loop-confined: the asyncio server calls it only from the
+event loop thread (results arrive via ``call_soon_threadsafe``), so no
+locking is needed here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import flow_cache, obs
+from repro.flow import FlowJob, FlowReport
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Tracks in-flight job keys and the callbacks awaiting each one."""
+
+    def __init__(self):
+        #: job key -> callbacks to fire when the leader resolves
+        self._inflight: dict[str, list[Callable]] = {}
+
+    # -- cache layer ---------------------------------------------------
+
+    @staticmethod
+    def check_cache(job: FlowJob) -> FlowReport | None:
+        """The stored report for *job*, if the shared store has one."""
+        report = flow_cache.load_report(job)
+        if report is not None:
+            obs.counter("service.cache_served_total").inc()
+        return report
+
+    # -- in-flight layer -----------------------------------------------
+
+    def admit(self, key: str) -> bool:
+        """``True`` when the caller is the leader for *key* (first in);
+        ``False`` when an identical job is already in flight."""
+        if key in self._inflight:
+            return False
+        self._inflight[key] = []
+        return True
+
+    def attach(self, key: str, callback: Callable) -> None:
+        """Subscribe a follower to the in-flight job *key*."""
+        self._inflight[key].append(callback)
+        obs.counter("service.coalesced_total").inc()
+
+    def resolve(self, key: str, *args) -> int:
+        """Leader finished (or failed, or was cancelled): fire every
+        follower callback with *args*; returns the follower count."""
+        followers = self._inflight.pop(key, [])
+        for callback in followers:
+            callback(*args)
+        return len(followers)
+
+    def abandon(self, key: str) -> None:
+        """Leader never made it into the queue (rejected): forget the key.
+
+        Only valid while the key has no followers -- the server resolves
+        keys with followers through :meth:`resolve` so nobody waits on a
+        job that will never run.
+        """
+        followers = self._inflight.pop(key, [])
+        assert not followers, "abandoning a key with live followers"
+
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def is_inflight(self, key: str) -> bool:
+        return key in self._inflight

@@ -1,0 +1,150 @@
+"""The service wire protocol: newline-delimited JSON, both directions.
+
+Requests are single JSON objects with an ``op`` field::
+
+    {"op": "submit", "bench": "brev", "platform": "mips200",
+     "opt_level": 1, "tenant": "alice", "priority": 0, "timeout": 30}
+    {"op": "submit", "source": "int main(void){...}", "name": "custom"}
+    {"op": "batch", "tenant": "alice", "jobs": [{...}, {...}]}
+    {"op": "cancel", "job": 7}
+    {"op": "stats"}
+    {"op": "ping"}
+
+Responses and job events are single JSON objects with an ``event`` field
+and, for job events, a per-job ``seq`` counter starting at 0 -- clients
+assert events arrive in submission order per job (``accepted`` ->
+``queued``/``coalesced`` -> ``running`` -> ``done``/``error``/...).
+
+Protocol-level failures never kill the connection: a malformed request is
+answered with ``{"event": "protocol_error", ...}`` and the line is dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+from repro.flow import FlowJob
+from repro.platform.platform import NAMED_PLATFORMS
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "SubmitSpec",
+    "encode",
+    "decode",
+    "parse_submit",
+]
+
+#: default TCP port for ``python -m repro serve`` ("SV" on a phone keypad
+#: would be nicer; 8752 is simply unclaimed)
+DEFAULT_PORT = 8752
+
+#: one request line must fit the asyncio reader's buffer; sources are
+#: small C files, so 4 MiB is generous without letting a client OOM the
+#: server with one line
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request the server understands well enough to reject politely."""
+
+
+#: tenants become metric names (``service.tenant.<t>.*``); keep them sane
+_TENANT_RE = re.compile(r"[A-Za-z0-9_-]{1,64}")
+
+
+def encode(payload: dict) -> bytes:
+    """One wire line for *payload* (compact separators, trailing newline)."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one wire line into a request/event object."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    return payload
+
+
+@dataclass(frozen=True)
+class SubmitSpec:
+    """One validated job submission, ready to enqueue."""
+
+    job: FlowJob
+    tenant: str
+    priority: int
+    timeout: float | None
+    use_cache: bool
+
+
+def _benchmark_source(name: str) -> str:
+    from repro.programs import get_benchmark
+
+    try:
+        return get_benchmark(name).source
+    except KeyError as exc:
+        raise ProtocolError(f"unknown benchmark {name!r}") from exc
+
+
+def parse_submit(payload: dict, default_tenant: str = "anonymous") -> SubmitSpec:
+    """Validate one submit payload (or one entry of a batch) into a
+    :class:`SubmitSpec`; raises :class:`ProtocolError` on anything off."""
+    if "source" in payload:
+        source = payload["source"]
+        if not isinstance(source, str) or not source.strip():
+            raise ProtocolError("'source' must be a non-empty string")
+        name = payload.get("name", "job")
+    elif "bench" in payload:
+        name = payload["bench"]
+        if not isinstance(name, str):
+            raise ProtocolError("'bench' must be a benchmark name")
+        source = _benchmark_source(name)
+        name = payload.get("name", name)
+    else:
+        raise ProtocolError("submission needs 'source' or 'bench'")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("'name' must be a non-empty string")
+
+    platform_name = payload.get("platform", "mips200")
+    platform = NAMED_PLATFORMS.get(platform_name)
+    if platform is None:
+        raise ProtocolError(
+            f"unknown platform {platform_name!r} "
+            f"(choose from {', '.join(sorted(NAMED_PLATFORMS))})"
+        )
+
+    opt_level = payload.get("opt_level", 1)
+    if opt_level not in (0, 1, 2, 3):
+        raise ProtocolError("'opt_level' must be 0..3")
+
+    max_steps = payload.get("max_steps", 200_000_000)
+    if not isinstance(max_steps, int) or max_steps <= 0:
+        raise ProtocolError("'max_steps' must be a positive integer")
+
+    tenant = payload.get("tenant", default_tenant)
+    if not isinstance(tenant, str) or not _TENANT_RE.fullmatch(tenant):
+        raise ProtocolError(
+            "'tenant' must match [A-Za-z0-9_-]{1,64} (it names per-tenant "
+            "metrics on the telemetry registry)"
+        )
+
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int):
+        raise ProtocolError("'priority' must be an integer (lower runs first)")
+
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ProtocolError("'timeout' must be a positive number of seconds")
+        timeout = float(timeout)
+
+    job = FlowJob(source=source, name=name, opt_level=opt_level,
+                  platform=platform, max_steps=max_steps)
+    return SubmitSpec(job=job, tenant=tenant, priority=priority,
+                      timeout=timeout, use_cache=not payload.get("no_cache", False))

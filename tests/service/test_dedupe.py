@@ -1,0 +1,92 @@
+"""Coalescer: leaders, followers, and the cache-first check."""
+
+import pytest
+
+from repro import flow_cache, obs
+from repro.flow import FlowJob, run_flows
+from repro.programs import get_benchmark
+from repro.service.dedupe import Coalescer
+
+
+class TestCoalescing:
+    def test_first_submitter_leads(self):
+        c = Coalescer()
+        assert c.admit("k1") is True
+        assert c.is_inflight("k1")
+        assert c.admit("k2") is True
+        assert c.in_flight() == 2
+
+    def test_followers_attach_and_resolve_fires_all(self):
+        c = Coalescer()
+        assert c.admit("k") is True
+        assert c.admit("k") is False      # duplicate: becomes a follower
+        seen = []
+        c.attach("k", lambda state, row: seen.append((1, state, row)))
+        c.attach("k", lambda state, row: seen.append((2, state, row)))
+        c.resolve("k", "done", {"name": "x"})
+        assert seen == [(1, "done", {"name": "x"}), (2, "done", {"name": "x"})]
+        assert not c.is_inflight("k")
+        # a post-resolution submitter starts a fresh flight
+        assert c.admit("k") is True
+
+    def test_resolve_without_followers(self):
+        c = Coalescer()
+        c.admit("solo")
+        c.resolve("solo", "done", None)   # no callbacks: still cleans up
+        assert c.in_flight() == 0
+
+    def test_abandon_releases_a_leaderless_key(self):
+        c = Coalescer()
+        c.admit("k")
+        c.abandon("k")
+        assert not c.is_inflight("k")
+
+    def test_attach_requires_a_flight(self):
+        c = Coalescer()
+        with pytest.raises(KeyError):
+            c.attach("nope", lambda *a: None)
+
+    def test_coalesced_counter(self):
+        obs.clear_metrics()
+        obs.enable(metrics=True, tracing=False)
+        try:
+            c = Coalescer()
+            c.admit("k")
+            c.admit("k")
+            c.attach("k", lambda *a: None)
+            c.attach("k", lambda *a: None)
+            counter = obs.registry().get("service.coalesced_total")
+            assert counter is not None and counter.value == 2
+        finally:
+            obs.disable()
+            obs.clear_metrics()
+
+
+class TestCacheFirst:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(flow_cache.CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.delenv(flow_cache.CACHE_TOGGLE_ENV, raising=False)
+        monkeypatch.delenv(flow_cache.BUDGET_ENV, raising=False)
+        return tmp_path
+
+    def _job(self):
+        return FlowJob(source=get_benchmark("brev").source, name="brev",
+                       opt_level=1)
+
+    def test_cold_cache_misses(self, cache_dir):
+        assert Coalescer.check_cache(self._job()) is None
+
+    def test_warm_cache_serves_and_counts(self, cache_dir):
+        job = self._job()
+        run_flows([job], max_workers=1)   # populates the cache
+        obs.clear_metrics()
+        obs.enable(metrics=True, tracing=False)
+        try:
+            report = Coalescer.check_cache(job)
+            assert report is not None and report.name == "brev"
+            served = obs.registry().get("service.cache_served_total")
+            assert served is not None and served.value == 1
+        finally:
+            obs.disable()
+            obs.clear_metrics()

@@ -1,0 +1,265 @@
+"""End-to-end service tests: a real server in a daemon thread, a real
+client over TCP/unix sockets.
+
+Every test implicitly asserts per-job event ordering -- the client
+validates the monotonic ``seq`` on every line it reads and raises on any
+violation (the same check CI's ``service-smoke`` job leans on).
+"""
+
+import pytest
+
+from repro import flow_cache, obs
+from repro.service.client import FINAL_EVENTS, ServiceClient, ServiceError
+from repro.service.server import ServiceConfig, serve_in_thread
+
+
+def _src(salt: int, iters: int = 400) -> str:
+    """A distinct-per-salt mini-C program (identical sources coalesce)."""
+    return (
+        "int main(void){int i;int s;s=0;"
+        f"for(i=0;i<{iters};i=i+1){{s=s+i+{salt};}}"
+        "return s;}"
+    )
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(flow_cache.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(flow_cache.CACHE_TOGGLE_ENV, raising=False)
+    monkeypatch.delenv(flow_cache.BUDGET_ENV, raising=False)
+    obs.clear_metrics()
+    obs.enable(metrics=True, tracing=False)
+    yield
+    obs.disable()
+    obs.clear_metrics()
+
+
+@pytest.fixture()
+def service(cache_env):
+    handle = serve_in_thread(
+        ServiceConfig(port=0, max_workers=1, batch_limit=2)
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(port=service.config.port).connect() as c:
+        yield c
+
+
+def _metric(name):
+    metric = obs.registry().get(name)
+    return metric.value if metric is not None else 0
+
+
+class TestRoundTrip:
+    def test_ping(self, client):
+        pong = client.ping()
+        assert pong["event"] == "pong"
+        assert pong["uptime_s"] >= 0
+
+    def test_submit_runs_a_flow_and_streams_events(self, client):
+        events = []
+        final = client.submit(
+            on_event=events.append,
+            source=_src(1), name="e2e-1", platform="mips200", tenant="alice",
+        )
+        kinds = [e["event"] for e in events if e.get("event") != "batch_accepted"]
+        assert kinds == ["accepted", "queued", "running", "done", "batch_done"]
+        assert final["event"] == "done"
+        assert final["cached"] is False
+        assert final["result"]["benchmark"] == "e2e-1"
+        assert final["result"]["platform"] == "MIPS-200MHz + Virtex-II"
+        assert _metric("service.submitted_total") == 1
+        assert _metric("service.completed_total") == 1
+        assert _metric("service.tenant.alice.submitted_total") == 1
+
+    def test_second_submission_is_served_from_cache(self, client):
+        payload = dict(source=_src(2), name="e2e-2")
+        first = client.submit(**payload)
+        assert first["event"] == "done" and first["cached"] is False
+        events = []
+        second = client.submit(on_event=events.append, **payload)
+        assert second["event"] == "done" and second["cached"] is True
+        # cached answers skip the queue entirely
+        kinds = [e["event"] for e in events if e.get("job") == second["job"]]
+        assert kinds == ["accepted", "done"]
+        assert second["result"] == first["result"]
+        assert _metric("service.cache_served_total") == 1
+        assert _metric("cache.stores_total") == 1
+
+    def test_no_cache_flag_forces_recompute(self, client):
+        payload = dict(source=_src(3), name="e2e-3", no_cache=True)
+        client.submit(**payload)
+        again = client.submit(**payload)
+        assert again["cached"] is False
+        assert _metric("cache.stores_total") == 0
+
+
+class TestDedupe:
+    def test_identical_jobs_in_one_batch_execute_once(self, client):
+        """The acceptance scenario: two identical submissions, one worker
+        execution -- the second coalesces onto the first's flight."""
+        payload = dict(source=_src(4), name="twin")
+        finals = client.submit_batch([dict(payload), dict(payload)],
+                                     tenant="alice")
+        assert len(finals) == 2
+        assert all(f["event"] == "done" for f in finals.values())
+        flags = sorted(bool(f.get("coalesced")) for f in finals.values())
+        assert flags == [False, True]   # one leader, one follower
+        assert _metric("service.coalesced_total") == 1
+        assert _metric("service.tenant.alice.coalesced_total") == 1
+        # exactly one worker execution reached the store
+        assert _metric("cache.stores_total") == 1
+        assert _metric("service.completed_total") == 2
+
+    def test_coalesced_result_rows_match(self, client):
+        payload = dict(source=_src(5), name="twin-2")
+        finals = client.submit_batch([dict(payload), dict(payload)])
+        rows = [f["result"] for f in finals.values()]
+        assert rows[0] == rows[1]
+
+
+class TestFailures:
+    def test_bad_source_errors_without_poisoning_batchmates(self, client):
+        finals = client.submit_batch([
+            {"source": _src(6), "name": "good"},
+            {"source": "int main(void){", "name": "broken"},
+        ])
+        by_name = {}
+        for final in finals.values():
+            by_name[final["event"]] = final
+        assert set(by_name) == {"done", "error"}
+        assert by_name["error"]["message"]
+        assert _metric("service.failed_total") == 1
+        assert _metric("service.completed_total") == 1
+
+    def test_bad_batch_entry_still_yields_batch_done(self, client):
+        events = []
+        finals = client.submit_batch(
+            [{"source": _src(7), "name": "ok"}, {"platform": "not-a-platform"}],
+            on_event=events.append,
+        )
+        assert len(finals) == 1          # only the good job got a final
+        [final] = finals.values()
+        assert final["event"] == "done"
+        batch_done = [e for e in events if e.get("event") == "batch_done"]
+        assert len(batch_done) == 1
+        assert batch_done[0]["ok"] == 1 and batch_done[0]["failed"] == 1
+        proto_errors = [e for e in events if e.get("event") == "protocol_error"]
+        assert len(proto_errors) == 1 and "batch" in proto_errors[0]
+
+    def test_unknown_op_is_a_protocol_error(self, client):
+        client.send({"op": "frobnicate"})
+        event = client.read_event()
+        assert event["event"] == "protocol_error"
+        assert "frobnicate" in event["message"]
+
+    def test_full_queue_rejects(self, cache_env):
+        handle = serve_in_thread(
+            ServiceConfig(port=0, queue_size=0, max_workers=1)
+        )
+        try:
+            with ServiceClient(port=handle.config.port).connect() as c:
+                final = c.submit(source=_src(8), name="nope", no_cache=True)
+            assert final["event"] == "rejected"
+            assert "queue full" in final["reason"]
+            assert _metric("service.rejected_total") == 1
+        finally:
+            handle.stop()
+
+
+class TestCancelAndTimeout:
+    """Jam the service (batch_limit=1, serial worker) so later jobs sit
+    queued long enough to cancel or expire."""
+
+    @pytest.fixture()
+    def jammed(self, cache_env):
+        handle = serve_in_thread(
+            ServiceConfig(port=0, max_workers=1, batch_limit=1)
+        )
+        yield handle
+        handle.stop()
+
+    def test_queued_job_times_out(self, jammed):
+        with ServiceClient(port=jammed.config.port).connect() as c:
+            jobs = [{"source": _src(10 + i, iters=5000), "name": f"jam-{i}",
+                     "no_cache": True} for i in range(4)]
+            jobs.append({"source": _src(99), "name": "hurried",
+                         "no_cache": True, "timeout": 0.005})
+            finals = c.submit_batch(jobs)
+        timed_out = [f for f in finals.values() if f["event"] == "timeout"]
+        assert len(timed_out) == 1
+        assert _metric("service.timeout_total") == 1
+        done = [f for f in finals.values() if f["event"] == "done"]
+        assert len(done) == 4            # the jam itself completes fine
+
+    def test_queued_job_cancels(self, jammed):
+        with ServiceClient(port=jammed.config.port).connect() as c:
+            jobs = [{"source": _src(20 + i, iters=5000), "name": f"jam-{i}",
+                     "no_cache": True} for i in range(3)]
+            jobs.append({"source": _src(98), "name": "doomed",
+                         "no_cache": True})
+            c.send({"op": "batch", "jobs": jobs})
+            # learn the last job's id from its accepted event
+            doomed_id = None
+            while doomed_id is None:
+                event = c.read_event()
+                if event.get("event") == "accepted" \
+                        and event.get("name") == "doomed":
+                    doomed_id = event["job"]
+            c.send({"op": "cancel", "job": doomed_id})
+            finals, cancel_ok = {}, None
+            while True:
+                event = c.read_event()
+                kind = event.get("event")
+                if kind == "cancel_result":
+                    cancel_ok = event["ok"]
+                elif kind in FINAL_EVENTS:
+                    finals[event["job"]] = event
+                elif kind == "batch_done":
+                    break
+        assert cancel_ok is True
+        assert finals[doomed_id]["event"] == "cancelled"
+        assert sum(f["event"] == "done" for f in finals.values()) == 3
+        assert _metric("service.cancelled_total") == 1
+
+    def test_cancelling_a_finished_job_is_refused(self, service):
+        with ServiceClient(port=service.config.port).connect() as c:
+            final = c.submit(source=_src(30), name="already-done")
+            assert final["event"] == "done"
+            assert c.cancel(final["job"]) is False
+
+
+class TestStats:
+    def test_stats_carries_live_metrics(self, client):
+        client.submit(source=_src(40), name="stat-job", tenant="bob")
+        stats = client.stats()
+        assert stats["event"] == "stats"
+        assert stats["queue_depth"] == 0
+        assert stats["inflight"] == 0
+        metrics = stats["metrics"]
+        assert metrics["service.submitted_total"]["value"] == 1
+        assert metrics["service.completed_total"]["value"] == 1
+        assert metrics["service.tenant.bob.completed_total"]["value"] == 1
+        assert metrics["service.job_seconds"]["count"] == 1
+
+
+class TestUnixSocket:
+    def test_serves_over_unix_socket(self, cache_env, tmp_path):
+        path = str(tmp_path / "repro.sock")
+        handle = serve_in_thread(ServiceConfig(socket_path=path))
+        try:
+            with ServiceClient(socket_path=path).connect() as c:
+                assert c.ping()["event"] == "pong"
+                final = c.submit(source=_src(50), name="unix-job")
+                assert final["event"] == "done"
+        finally:
+            handle.stop()
+
+    def test_connect_failure_is_a_service_error(self, tmp_path):
+        client = ServiceClient(socket_path=str(tmp_path / "missing.sock"))
+        with pytest.raises(ServiceError):
+            client.connect()

@@ -1,4 +1,11 @@
-"""On-disk flow-report cache: hits, misses, keys, and the kill switch."""
+"""On-disk flow-report cache: hits, misses, keys, and the kill switch.
+
+Since the cache graduated onto the sharded store (``repro.service.store``),
+entries live under two-hex-char shard subdirectories of ``<root>/flow/``
+and are LRU-evicted under ``REPRO_CACHE_BUDGET``; these tests cover the
+flow-cache-facing behaviour, ``tests/service/test_store.py`` covers the
+store itself.
+"""
 
 import os
 import pickle
@@ -16,6 +23,7 @@ from repro.programs import get_benchmark
 def cache_dir(tmp_path, monkeypatch):
     monkeypatch.setenv(flow_cache.CACHE_DIR_ENV, str(tmp_path))
     monkeypatch.delenv(flow_cache.CACHE_TOGGLE_ENV, raising=False)
+    monkeypatch.delenv(flow_cache.BUDGET_ENV, raising=False)
     return tmp_path
 
 
@@ -26,12 +34,20 @@ def _job(name="brev", platform=MIPS_200MHZ, opt_level=1):
     )
 
 
+def _entries(cache_dir):
+    return list((cache_dir / "flow").rglob("*.pkl"))
+
+
 class TestCacheRoundTrip:
     def test_second_sweep_hits_disk(self, cache_dir, monkeypatch):
         job = _job()
         [first] = run_flows([job], max_workers=1)
-        files = list((cache_dir / "flow").glob("*.pkl"))
+        files = _entries(cache_dir)
         assert len(files) == 1
+        # sharded layout: <root>/flow/<key[:2]>/<key>.pkl
+        key = flow_cache.job_key(job)
+        assert files[0].parent.name == key[:2]
+        assert files[0].name == f"{key}.pkl"
         # a cache hit must not recompute: poison the execution path
         monkeypatch.setattr(
             "repro.flow._run_flows_uncached",
@@ -43,18 +59,26 @@ class TestCacheRoundTrip:
 
     def test_cache_false_bypasses(self, cache_dir):
         run_flows([_job()], max_workers=1, cache=False)
-        assert not list((cache_dir / "flow").glob("*.pkl"))
+        assert not _entries(cache_dir)
 
     def test_env_kill_switch(self, cache_dir, monkeypatch):
         monkeypatch.setenv(flow_cache.CACHE_TOGGLE_ENV, "off")
         run_flows([_job()], max_workers=1)
-        assert not list((cache_dir / "flow").glob("*.pkl"))
+        assert not _entries(cache_dir)
         assert not flow_cache.cache_enabled()
 
     def test_clear(self, cache_dir):
         run_flows([_job()], max_workers=1)
         assert flow_cache.clear() == 1
-        assert not list((cache_dir / "flow").glob("*.pkl"))
+        assert not _entries(cache_dir)
+
+    def test_clear_also_reaps_legacy_flat_entries(self, cache_dir):
+        flow = cache_dir / "flow"
+        flow.mkdir(parents=True, exist_ok=True)
+        (flow / "deadbeef.pkl").write_bytes(b"pre-sharding entry")
+        (flow / "deadbeef.tmp").write_bytes(b"pre-sharding scratch")
+        assert flow_cache.clear() == 2
+        assert not list(flow.glob("*"))
 
 
 class TestTmpSweep:
@@ -69,29 +93,44 @@ class TestTmpSweep:
         os.utime(orphan, (stamp, stamp))
         return orphan
 
+    @staticmethod
+    def _shard_for(job):
+        return flow_cache._path_for(job).parent
+
     def test_clear_removes_tmp_files_regardless_of_age(self, cache_dir):
-        flow = cache_dir / "flow"
         run_flows([_job()], max_workers=1)
-        fresh = self._plant_tmp(flow, "fresh.tmp", age_seconds=0)
-        stale = self._plant_tmp(flow, "stale.tmp", age_seconds=7200)
+        shard = self._shard_for(_job())
+        fresh = self._plant_tmp(shard, "fresh.tmp", age_seconds=0)
+        stale = self._plant_tmp(shard, "stale.tmp", age_seconds=7200)
         assert flow_cache.clear() == 3   # 1 pkl + 2 tmp
         assert not fresh.exists() and not stale.exists()
-        assert not list(flow.glob("*"))
 
     def test_store_report_reaps_stale_tmp(self, cache_dir):
-        flow = cache_dir / "flow"
-        stale = self._plant_tmp(flow, "crashed-writer.tmp", age_seconds=7200)
-        run_flows([_job()], max_workers=1)   # stores a report -> sweeps
+        shard = self._shard_for(_job())
+        stale = self._plant_tmp(shard, "crashed-writer.tmp", age_seconds=7200)
+        run_flows([_job()], max_workers=1)   # stores a report -> reaps
         assert not stale.exists()
-        assert len(list(flow.glob("*.pkl"))) == 1
+        assert len(_entries(cache_dir)) == 1
 
     def test_store_report_spares_recent_tmp(self, cache_dir):
         # a young .tmp may belong to a concurrent writer mid-publish:
         # hands off
-        flow = cache_dir / "flow"
-        fresh = self._plant_tmp(flow, "inflight.tmp", age_seconds=10)
+        shard = self._shard_for(_job())
+        fresh = self._plant_tmp(shard, "inflight.tmp", age_seconds=10)
         run_flows([_job()], max_workers=1)
         assert fresh.exists()
+
+    def test_reap_is_rate_limited_per_shard(self, cache_dir):
+        # high-throughput service writes must not pay a directory scan on
+        # every store: after the first store swept a shard, later stores
+        # to the same shard skip the scan -- a stale orphan planted in
+        # between survives until the next process
+        job = _job()
+        run_flows([job], max_workers=1)
+        shard = self._shard_for(job)
+        late = self._plant_tmp(shard, "late-orphan.tmp", age_seconds=7200)
+        flow_cache.store_report(job, run_flows([job], max_workers=1)[0])
+        assert late.exists()
 
     def test_sweep_helper_counts_and_age_boundary(self, cache_dir):
         flow = cache_dir / "flow"
@@ -125,15 +164,25 @@ class TestCorruption:
     def test_corrupt_pickle_is_a_miss(self, cache_dir):
         job = _job()
         [first] = run_flows([job], max_workers=1)
-        [path] = list((cache_dir / "flow").glob("*.pkl"))
+        [path] = _entries(cache_dir)
         path.write_bytes(b"not a pickle")
         [again] = run_flows([job], max_workers=1)
         assert again.summary_row() == first.summary_row()
 
+    def test_corrupt_entry_is_discarded(self, cache_dir):
+        # one corrupt pickle costs one recompute, not a poisoned read on
+        # every future load
+        job = _job()
+        run_flows([job], max_workers=1)
+        [path] = _entries(cache_dir)
+        path.write_bytes(b"not a pickle")
+        assert flow_cache.load_report(job) is None
+        assert not path.exists()
+
     def test_wrong_object_is_a_miss(self, cache_dir):
         job = _job()
         run_flows([job], max_workers=1)
-        [path] = list((cache_dir / "flow").glob("*.pkl"))
+        [path] = _entries(cache_dir)
         path.write_bytes(pickle.dumps({"not": "a report"}))
         assert flow_cache.load_report(job) is None
 
@@ -168,19 +217,19 @@ class TestCacheTelemetry:
     def test_corrupt_entry_counts_as_miss(self, cache_dir, telemetry):
         job = _job()
         run_flows([job], max_workers=1)
-        [path] = list((cache_dir / "flow").glob("*.pkl"))
+        [path] = _entries(cache_dir)
         path.write_bytes(b"not a pickle")
         assert flow_cache.load_report(job) is None
         assert self._count("cache.misses_total") == 2   # initial + corrupt
 
     def test_store_reports_reaped_tmp_and_disk_bytes(self, cache_dir,
                                                      telemetry):
-        flow = cache_dir / "flow"
-        TestTmpSweep._plant_tmp(flow, "crashed-1.tmp", age_seconds=7200)
-        TestTmpSweep._plant_tmp(flow, "crashed-2.tmp", age_seconds=4000)
+        shard = TestTmpSweep._shard_for(_job())
+        TestTmpSweep._plant_tmp(shard, "crashed-1.tmp", age_seconds=7200)
+        TestTmpSweep._plant_tmp(shard, "crashed-2.tmp", age_seconds=4000)
         run_flows([_job()], max_workers=1)
         assert self._count("cache.stale_tmp_reaped_total") == 2
-        [stored] = list(flow.glob("*.pkl"))
+        [stored] = _entries(cache_dir)
         assert obs.registry().get("cache.bytes_on_disk").value \
             == stored.stat().st_size
 
@@ -190,6 +239,27 @@ class TestCacheTelemetry:
         run_flows([_job()], max_workers=1)
         run_flows([_job()], max_workers=1)
         assert len(obs.registry()) == 0
+
+
+class TestBudget:
+    def test_budget_env_parses_and_reaches_the_store(self, cache_dir,
+                                                     monkeypatch):
+        monkeypatch.setenv(flow_cache.BUDGET_ENV, "2M")
+        assert flow_cache.cache_budget() == 2 * 1024 * 1024
+        assert flow_cache.store().budget_bytes == 2 * 1024 * 1024
+
+    def test_budget_evicts_older_reports(self, cache_dir, monkeypatch):
+        # store two reports under an unlimited budget, then shrink the
+        # budget below their combined size: the next store must LRU-evict
+        run_flows([_job("brev"), _job("crc")], max_workers=1)
+        total = sum(p.stat().st_size for p in _entries(cache_dir))
+        monkeypatch.setenv(flow_cache.BUDGET_ENV, str(total + 64))
+        [report] = run_flows([_job("blit")], max_workers=1, cache=False)
+        flow_cache.store_report(_job("blit"), report)
+        remaining = sum(p.stat().st_size for p in _entries(cache_dir))
+        assert remaining <= total + 64
+        # the just-written entry is the most recent; it must survive
+        assert flow_cache.load_report(_job("blit")) is not None
 
 
 class TestMixedBatches:
