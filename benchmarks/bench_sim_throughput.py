@@ -45,12 +45,15 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 import math
 
+import repro
 from repro.compiler.driver import compile_source
 from repro.flow import FlowJob, run_flows
 from repro.programs import ALL_BENCHMARKS, get_benchmark
@@ -162,6 +165,135 @@ def time_tier_sweep(repeats: int = SWEEP_REPEATS) -> dict:
     }
 
 
+#: the differential suite's phase-flip hazard at recovery-relevant scale:
+#: the hot arm flips halfway, so traces built in phase one decay and the
+#: re-planner must retire them and rebuild against the second phase
+PHASE_FLIP_SOURCE = """
+int acc; int alt;
+int main(void) {
+    int i;
+    acc = 0; alt = 0;
+    for (i = 0; i < 40000; i++) {
+        if (i < 20000) {
+            acc = acc + (i ^ 3) + (acc >> 2);
+        } else {
+            alt = alt + (i | 5) - (alt >> 3);
+        }
+    }
+    return 0;
+}
+"""
+
+#: child of the warm-start harness: one full simulation in a fresh
+#: process, reporting build activity so the parent can tell a replayed
+#: start from a cold one
+_WARM_CHILD = """
+import json, sys, time
+from repro.compiler.driver import compile_source
+from repro.programs import get_benchmark
+from repro.sim.cpu import Cpu
+
+exe = compile_source(get_benchmark(sys.argv[1]).source)
+cpu = Cpu(exe, trace_threshold=1)
+start = time.perf_counter()
+result = cpu.run()
+elapsed = time.perf_counter() - start
+print(json.dumps({
+    "seconds": elapsed,
+    "codegen_seconds": cpu._sb.codegen_seconds,
+    "builds": cpu._sb.trace_builds,
+    "traces": len(cpu.traces),
+    "steps": result.steps,
+    "cycles": result.cycles,
+}))
+"""
+
+
+def time_warm_start(name: str = "sobel", repeats: int = 3) -> dict:
+    """Cold vs warm process pair through the persistent trace cache.
+
+    Each repetition gets a *fresh* scratch ``REPRO_TRACE_CACHE_DIR`` and
+    runs the cold child then the warm child, so only the warm child ever
+    finds builds on disk; best-of-N on each side damps process-launch
+    noise (the per-run deltas are milliseconds).  The dict records both
+    wall clocks, the warm child's build count (must be 0), and whether
+    results matched bit-for-bit.
+    """
+    env = dict(os.environ)
+    env["REPRO_TRACE_PERSIST"] = "on"
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+
+    def child():
+        proc = subprocess.run(
+            [sys.executable, "-c", _WARM_CHILD, name],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"warm-start child failed: {proc.stderr}")
+        return json.loads(proc.stdout)
+
+    best_cold, best_warm = None, None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-trc-") as cache_dir:
+            env["REPRO_TRACE_CACHE_DIR"] = cache_dir
+            cold = child()
+            warm = child()
+        if best_cold is None or cold["seconds"] < best_cold["seconds"]:
+            best_cold = cold
+        if best_warm is None or warm["seconds"] < best_warm["seconds"]:
+            best_warm = warm
+    return {
+        "benchmark": name,
+        "cold_seconds": round(best_cold["seconds"], 6),
+        "warm_seconds": round(best_warm["seconds"], 6),
+        "cold_builds": best_cold["builds"],
+        "warm_builds": best_warm["builds"],
+        "warm_traces": best_warm["traces"],
+        "speedup": round(best_cold["seconds"] / best_warm["seconds"], 3)
+        if best_warm["seconds"] else 0.0,
+        "identical": all(best_cold[f] == best_warm[f]
+                         for f in ("steps", "cycles")),
+        "reps": repeats,
+    }
+
+
+def time_phase_flip(repeats: int = 3) -> dict:
+    """Re-planning recovery on the phase-flip hazard.
+
+    ``coverage`` is the share of executed instructions that ran inside a
+    trace (active + retired): with re-planning off the tier is stuck with
+    phase-one traces and coverage caps near 50%; with re-planning on the
+    rebuilt traces carry the second phase too.
+    """
+    exe = compile_source(PHASE_FLIP_SOURCE, opt_level=1)
+    kwargs = {"trace_threshold": 1, "spree_size": 4096}
+    rows = {}
+    for label, threshold in (("replan", 0.25), ("no_replan", 0.0)):
+        best = float("inf")
+        for _ in range(repeats):
+            cpu = Cpu(exe, replan_threshold=threshold, **kwargs)
+            start = time.perf_counter()
+            result = cpu.run()
+            best = min(best, time.perf_counter() - start)
+        sb = cpu._sb
+        covered = sum(t.instructions for t in cpu.traces) \
+            + sum(t.instructions for t in sb.retired)
+        rows[label] = {
+            "seconds": round(best, 6),
+            "coverage": round(covered / result.steps, 3),
+            "replans": sb.replans_total,
+            "steps": result.steps,
+            "cycles": result.cycles,
+        }
+    rows["recovery"] = round(
+        rows["replan"]["coverage"] - rows["no_replan"]["coverage"], 3
+    )
+    rows["identical"] = all(
+        rows["replan"][f] == rows["no_replan"][f] for f in ("steps", "cycles")
+    )
+    return rows
+
+
 def time_sweep(max_workers: int | None) -> float:
     jobs = [FlowJob(source=bench.source, name=bench.name) for bench in ALL_BENCHMARKS]
     start = time.perf_counter()
@@ -211,6 +343,19 @@ def run_smoke() -> int:
     if traced.steps != blocks.steps or traced.cycles != blocks.cycles:
         print("smoke FAILED: trace tier disagrees with block tier on brev")
         failures.append("brev-exactness")
+    # persistent cache: a second process must start trace-warm (zero
+    # builds) and agree bit-for-bit with the cold process
+    warm = time_warm_start("brev")
+    print(f"brev     warm start: cold {warm['cold_seconds']:.3f}s "
+          f"({warm['cold_builds']} builds) -> warm "
+          f"{warm['warm_seconds']:.3f}s ({warm['warm_builds']} builds, "
+          f"{warm['warm_traces']} traces replayed)")
+    if warm["warm_builds"] != 0 or not warm["warm_traces"]:
+        print("smoke FAILED: second process did not replay the trace cache")
+        failures.append("warm-start-replay")
+    if not warm["identical"]:
+        print("smoke FAILED: warm process diverged from cold process")
+        failures.append("warm-start-exactness")
     if failures:
         print(f"smoke FAILED ({', '.join(failures)}); gate is "
               f"{SMOKE_MIN_SPEEDUP}x over threaded")
@@ -263,6 +408,17 @@ def main() -> None:
         print(f"tiers    trace tier SLOWER than blocks on: "
               f"{', '.join(tier_sweep['tier_regressions'])}")
 
+    warm_start = time_warm_start()
+    print(f"warm     cold {warm_start['cold_seconds']:.3f}s -> warm "
+          f"{warm_start['warm_seconds']:.3f}s "
+          f"({warm_start['speedup']:.2f}x, {warm_start['warm_builds']} "
+          f"builds in warm process)")
+
+    phase_flip = time_phase_flip()
+    print(f"replan   phase-flip coverage {phase_flip['replan']['coverage']:.1%}"
+          f" with re-planning vs {phase_flip['no_replan']['coverage']:.1%} "
+          f"without ({phase_flip['replan']['replans']} replans)")
+
     serial = time_sweep(max_workers=1)
     print(f"sweep    {serial:7.2f}s serial (20 benchmarks, 200 MHz platform)")
     parallel = time_sweep(max_workers=None)
@@ -282,6 +438,8 @@ def main() -> None:
         "reps": REPEATS,
         "single_run": single,
         "tier_sweep": tier_sweep,
+        "warm_start": warm_start,
+        "phase_flip": phase_flip,
         "sweep": {
             "benchmarks": len(ALL_BENCHMARKS),
             "serial_seconds": serial,

@@ -77,7 +77,10 @@ class TraceBuffer:
         start = _now_us()
         try:
             yield
-        except BaseException as exc:
+        except Exception as exc:
+            # Exception only: KeyboardInterrupt/SystemExit must exit the
+            # process without span finalization touching them (the finally
+            # below still records the event either way).
             attrs = dict(attrs, error=type(exc).__name__)
             raise
         finally:

@@ -84,13 +84,22 @@ def sweep_stale_tmp(directory: Path, max_age: float = STALE_TMP_SECONDS) -> int:
     SIGKILL, power loss) leaks the ``.tmp`` forever.  Only files older
     than *max_age* are touched so a concurrent writer's in-flight scratch
     file is never yanked away.
+
+    Wall-clock time is not monotonic: a clock step between a writer's
+    ``mkstemp`` and this scan can make a fresh scratch file look ancient
+    (or land its mtime in the future).  Ages are therefore clamped to
+    >= 0 and future-dated files are never reaped -- a file that claims
+    to be from the future is evidence of a clock step, not a crash.
     """
     removed = 0
     now = time.time()
     try:
         for entry in directory.glob("*.tmp"):
             try:
-                if now - entry.stat().st_mtime >= max_age:
+                age = now - entry.stat().st_mtime
+                if age < 0:
+                    continue  # mtime in the future: clock stepped, skip
+                if age >= max_age:
                     entry.unlink()
                     removed += 1
             except OSError:
@@ -224,7 +233,10 @@ class ShardedStore:
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(data)
                 os.replace(tmp_name, path)
-            except BaseException:
+            except Exception:
+                # Exception only: a Ctrl-C here must propagate untouched,
+                # and the orphaned scratch file is exactly what the stale
+                # ``*.tmp`` reap exists to clean up.
                 try:
                     os.unlink(tmp_name)
                 except OSError:

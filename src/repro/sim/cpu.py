@@ -97,6 +97,12 @@ _MNEMONIC_CLASS = {mnem: spec.klass for mnem, spec in SPECS.items()}
 #: (checkpoints past ``trace_threshold``) before sprees go unbounded
 _WARMUP_BUILDS = 8
 
+#: post-warmup monitoring sprees (the re-planning watermark) are capped
+#: at this multiple of ``spree_size`` instructions -- coarse enough that
+#: steady state pays a handful of extra folds, fine enough that a phase
+#: shift is noticed within a few multiples of the warmup budget
+_MONITOR_SPREES = 4
+
 
 class _Halt(Exception):
     """Raised by the ``break`` executor to leave the dispatch loop.
@@ -165,6 +171,8 @@ class Cpu:
         trace_threshold: int = 1,
         spree_size: int = 32768,
         spill_after: int = 8,
+        replan_threshold: float = 0.25,
+        trace_persist: bool | None = None,
     ):
         if engine not in ("superblock", "threaded"):
             raise ValueError(
@@ -187,6 +195,13 @@ class Cpu:
                 f"spill_after must be a non-negative integer (0 disables the "
                 f"cold-counter spill), got {spill_after!r}"
             )
+        if not isinstance(replan_threshold, (int, float)) \
+                or isinstance(replan_threshold, bool) \
+                or not 0.0 <= replan_threshold < 1.0:
+            raise ValueError(
+                f"replan_threshold must be a float in [0, 1) (0 disables "
+                f"trace re-planning), got {replan_threshold!r}"
+            )
         self.exe = exe
         self.memory = memory if memory is not None else Memory()
         self._cpi = cpi if cpi is not None else CpiModel()
@@ -195,6 +210,8 @@ class Cpu:
         self._trace_threshold = trace_threshold
         self._spree_size = spree_size
         self._spill_after = spill_after
+        self._replan_threshold = float(replan_threshold)
+        self._trace_persist = trace_persist
         load_into_memory(exe, self.memory)
         self._decoded = [decode(word) for word in exe.text_words]
         self.regs = [0] * 32
@@ -886,6 +903,7 @@ class Cpu:
             max(0, result.steps - unit_instr - trace_instr)
         )
         obs.gauge("engine.traces_installed").set_max(len(sb.traces))
+        obs.gauge("engine.trace_links").set_max(sb.trace_links)
         obs.counter("engine.trace_guard_exits_total").inc(
             sum(info.guard_exits for info in sb.traces)
         )
@@ -893,6 +911,11 @@ class Cpu:
         obs.counter("engine.counter_spills_total").inc(delta["spills"])
         obs.counter("engine.counter_reheats_total").inc(delta["reheats"])
         obs.counter("engine.trace_builds_total").inc(delta["trace_builds"])
+        obs.counter("engine.trace_replans_total").inc(delta["replans"])
+        obs.counter("engine.trace_links_made_total").inc(delta["links_made"])
+        obs.counter("engine.trace_links_severed_total").inc(
+            delta["links_severed"]
+        )
         obs.counter("engine.codegen_units_total").inc(delta["codegen_units"])
         obs.counter("engine.codegen_lines_total").inc(delta["codegen_lines"])
         seconds = delta["codegen_seconds"]
@@ -952,10 +975,12 @@ class Cpu:
         halted = False
         trace_after = self._trace_threshold
         spree_cap = self._spree_size
+        monitor_cap = spree_cap * _MONITOR_SPREES
         sprees = 0
         builds = 0
         disp_total = 0
         executed = 0
+        exec_base = 0
         # cache-warm tables (traces replayed at construction from an
         # earlier run on the same executable) skip warmup outright
         warmup = trace_after > 0 and not sb.traces_built
@@ -964,16 +989,21 @@ class Cpu:
             remaining = max_steps
             while remaining >= sb.call_bound:
                 dispatches = remaining // sb.call_bound
-                if warmup:
+                monitoring = not warmup and sb.monitor_enabled
+                if warmup or monitoring:
                     # spree_size is an *instruction* budget.  The first
                     # spree sizes against the worst case (call_bound);
                     # later ones use the measured per-dispatch average,
                     # so checkpoints pace evenly whether dispatches run
-                    # 3 instructions or 300
+                    # 3 instructions or 300.  Monitoring checkpoints
+                    # (the re-planning watermark) run a few times
+                    # coarser than warmup ones
+                    budget = monitor_cap if monitoring else spree_cap
                     if disp_total:
-                        cap = spree_cap * disp_total // executed or 1
+                        cap = budget * disp_total // (executed - exec_base) \
+                            or 1
                     else:
-                        cap = spree_cap // sb.call_bound or 1
+                        cap = budget // sb.call_bound or 1
                     if dispatches > cap:
                         dispatches = cap
                 for _ in repeat(None, dispatches):
@@ -989,6 +1019,18 @@ class Cpu:
                     builds += 1
                     if not sb.build_traces(counts) or builds >= _WARMUP_BUILDS:
                         warmup = False
+                elif monitoring and sb.check_replan(counts, executed):
+                    # stale traces retired: re-enter warmup so the next
+                    # checkpoints profile and rebuild against the new
+                    # phase.  The pacing estimator restarts too -- the
+                    # retired traces' huge instructions-per-dispatch
+                    # average would otherwise shrink post-replan sprees
+                    # to a handful of unit calls
+                    warmup = True
+                    sprees = 0
+                    builds = 0
+                    disp_total = 0
+                    exec_base = executed
                 remaining = max_steps - executed
             # wind-down: traces raise call_bound to ~TRACE_CAP, which
             # would leave a long single-stepped tail; dispatch the gap
@@ -1073,12 +1115,15 @@ def run_executable(
     trace_threshold: int = 1,
     spree_size: int = 32768,
     spill_after: int = 8,
+    replan_threshold: float = 0.25,
+    trace_persist: bool | None = None,
 ) -> tuple[Cpu, RunResult]:
     """Convenience: build a CPU for *exe*, run to halt, return (cpu, result)."""
     cpu = Cpu(
         exe, cpi=cpi, profile=profile, engine=engine,
         trace_threshold=trace_threshold, spree_size=spree_size,
-        spill_after=spill_after,
+        spill_after=spill_after, replan_threshold=replan_threshold,
+        trace_persist=trace_persist,
     )
     result = cpu.run(max_steps=max_steps)
     return cpu, result

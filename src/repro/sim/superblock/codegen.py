@@ -49,7 +49,16 @@ from collections import Counter
 from repro.errors import SimulationError
 from repro.sim.superblock.leaders import BRANCHES, CONTROL_TRANSFERS
 
-__all__ = ["Codegen", "_BlockEnv", "_MAY_FAULT", "_read_regs", "_written_reg"]
+__all__ = ["FACTORY", "Codegen", "_BlockEnv", "_MAY_FAULT", "_read_regs",
+           "_written_reg"]
+
+#: the shared factory header every generated module starts with; binds
+#: the per-Cpu namespace (``SuperblockTable._ns``) once per compile.
+#: ``LK`` is the cross-trace link table: guard exits indirect through it
+#: so a hot side exit can call the trace anchored at its target directly
+#: instead of bouncing through the dispatch loop
+FACTORY = ("def _factory(R, T, BC, HL, DE, r8, r16, r32, "
+           "w8, w16, w32, Halt, Err, LK):")
 
 #: memory accessors can raise MemoryFault, so the register file must be
 #: architecturally exact before each of these executes

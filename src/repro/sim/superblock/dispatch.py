@@ -38,16 +38,17 @@ arrays the rest of the simulator derives statistics from.
 
 from __future__ import annotations
 
-import weakref
 from time import perf_counter
 
 from repro.errors import SimulationError
 from repro.sim.cpu import _Halt
+from repro.sim.superblock import persist
+from repro.sim.superblock.codegen import FACTORY as _FACTORY
 from repro.sim.superblock.codegen import Codegen
 from repro.sim.superblock.leaders import CONTROL_TRANSFERS, find_leaders
 from repro.sim.superblock.traces import MAX_TRACES, TraceInfo, install_traces
 
-__all__ = ["SuperblockTable"]
+__all__ = ["SuperblockTable", "REPLAN_CAP", "REPLAN_STREAK"]
 
 #: j-chain fusion bounds: chains stop after this many fused blocks or
 #: this many total instructions, keeping generated units (and the
@@ -55,26 +56,14 @@ __all__ = ["SuperblockTable"]
 _CHAIN_MAX_BLOCKS = 8
 _CHAIN_MAX_INSTRS = 192
 
-_FACTORY = "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):"
-
-#: per-executable trace code cache, keyed by ``id(exe)`` (cleaned up by
-#: a finalizer when the executable dies).  A run's warmup profiles,
-#: plans, and compiles its traces; those builds are replayed -- compiled
-#: code object plus counter layout, no re-planning, no ``compile()`` --
-#: into every later table on the same program, so repeat runs start
-#: trace-warm.  Keying by identity (the Executable dataclass is
-#: unhashable) keeps the cache off the exe itself: code objects must
-#: never ride along into the pickled flow cache.
-_TRACE_CACHE: dict[int, dict] = {}
-
-
-def _exe_cache(exe) -> dict:
-    key = id(exe)
-    cache = _TRACE_CACHE.get(key)
-    if cache is None:
-        cache = _TRACE_CACHE[key] = {}
-        weakref.finalize(exe, _TRACE_CACHE.pop, key, None)
-    return cache
+#: re-planning bounds (ROADMAP item e): retire-and-rebuild fires after
+#: the installed traces' share of executed instructions stays below the
+#: cpu's ``replan_threshold`` for this many consecutive monitoring
+#: folds, and at most this many times per table -- a workload that
+#: oscillates faster than the cap settles into whatever set the last
+#: replan built instead of thrashing the compiler
+REPLAN_STREAK = 3
+REPLAN_CAP = 4
 
 
 class SuperblockTable:
@@ -154,6 +143,31 @@ class SuperblockTable:
         self._traced: set[int] = set()
         self.traces_built = False
 
+        #: cross-trace link table (item f): generated guard exits read
+        #: ``LK[slot]`` and call the linked trace directly when the slot
+        #: holds a function.  The list object is baked into every
+        #: generated module's namespace, so it must never be reassigned
+        #: -- only grown and mutated in place
+        self._links: list = []
+        self.trace_links = 0
+        self.links_made = 0
+        self.links_severed = 0
+
+        #: re-planning state (item e): traces retired by a replan keep
+        #: their TraceInfo handles here so tier accounting stays exact
+        self.replans_total = 0
+        self.retired: list = []
+        self.replan_threshold = float(getattr(cpu, "_replan_threshold", 0.0))
+        self._mon_trace: int | None = None
+        self._mon_total = 0
+        self._mon_streak = 0
+        #: planning baselines: a replan snapshots the cumulative profile
+        #: so the rebuild plans from post-replan deltas only, without
+        #: disturbing the counters the exactness contract folds into
+        self._base_counts: list[int] | None = None
+        self._base_taken: list[int] | None = None
+        self._base_bcounts: list[int] | None = None
+
         handlers = cpu._handlers
         entries: list[tuple] = [(1, handlers[slot]) for slot in range(len(handlers))]
         for i in range(self._text_len):
@@ -176,6 +190,7 @@ class SuperblockTable:
             "w32": memory.write_u32,
             "Halt": _Halt,
             "Err": SimulationError,
+            "LK": self._links,
         }
         self._cg = Codegen(
             decoded, self._text_base, self._text_len, self._profile,
@@ -191,13 +206,29 @@ class SuperblockTable:
         #: the remaining budget is below a trace call
         self.unit_bound = self.call_bound
 
-        #: this executable's trace builds (shared across tables); None
+        #: this program's trace builds, shared across tables (and, when
+        #: persistence is on, across processes) through the content-hash
+        #: keyed cache in :mod:`~repro.sim.superblock.persist`; ``None``
         #: when the trace tier is disabled for this cpu
         self._cache: list | None = None
+        self._cache_key = ""
+        self._persist = False
         if getattr(cpu, "_trace_threshold", 0):
-            self._cache = _exe_cache(cpu.exe).setdefault(self._profile, [])
-            for artifact in self._cache:
-                self._replay(artifact)
+            flag = getattr(cpu, "_trace_persist", None)
+            self._persist = persist.persist_enabled() if flag is None else bool(flag)
+            self._cache_key = persist.trace_key(cpu.exe, self._profile)
+            self._cache = persist.artifacts_for(self._cache_key, self._persist)
+            try:
+                for artifact in self._cache:
+                    self._replay(artifact)
+            except Exception:
+                # a poisoned artifact costs one cold build, never a
+                # crash on every future run: drop the entry everywhere
+                # and carry on with whatever replayed cleanly
+                del self._cache[:]
+                persist.invalidate(self._cache_key, self._persist)
+            if self.traces:
+                self._relink()
 
     # -- public surface ----------------------------------------------------
 
@@ -223,6 +254,14 @@ class SuperblockTable:
             bcounts[i] = 0
             folded[i] = 0
             cold[i] = 0
+        # monitoring watermarks and planning baselines index into the
+        # per-run counter arrays, so they never survive a reset
+        self._mon_trace = None
+        self._mon_total = 0
+        self._mon_streak = 0
+        self._base_counts = None
+        self._base_taken = None
+        self._base_bcounts = None
 
     def fold_into(self, counts: list[int]) -> None:
         """Fold per-unit entry deltas into the per-instruction counters.
@@ -301,8 +340,175 @@ class SuperblockTable:
         self.trace_builds += 1
         started = perf_counter()
         install_traces(self, counts, self._taken_arr)
+        self._relink()
         self.codegen_seconds += perf_counter() - started
         return len(self.traces) < MAX_TRACES
+
+    # -- re-planning (item e) and cross-trace linking (item f) ---------------
+
+    @property
+    def monitor_enabled(self) -> bool:
+        """Whether post-warmup sprees should stay capped for monitoring.
+
+        True while traces are installed, re-planning is on, and the
+        replan cap has headroom; once any of those stops holding, the
+        dispatch loop reverts to full-budget sprees (one fold per run).
+        """
+        return (bool(self.traces) and self.replan_threshold > 0.0
+                and self.replans_total < REPLAN_CAP)
+
+    def check_replan(self, counts: list[int], executed: int) -> bool:
+        """One monitoring checkpoint; returns whether a replan fired.
+
+        The dispatch loop calls this at post-warmup folds while traces
+        are installed.  The watermark is the installed traces' share of
+        the instructions executed since the previous checkpoint (both
+        already maintained by the fold -- the check is a handful of
+        reads, no new counters).  A share below ``replan_threshold``
+        for :data:`REPLAN_STREAK` consecutive checkpoints means the hot
+        set moved: retire the stale traces and re-enter warmup.
+        """
+        trace_instr = sum(info.instructions for info in self.traces)
+        prev_trace = self._mon_trace
+        prev_total = self._mon_total
+        self._mon_trace = trace_instr
+        self._mon_total = executed
+        if prev_trace is None:
+            return False  # first checkpoint: establish the watermark
+        delta_total = executed - prev_total
+        if delta_total <= 0:
+            return False
+        share = (trace_instr - prev_trace) / delta_total
+        if share >= self.replan_threshold:
+            self._mon_streak = 0
+            return False
+        self._mon_streak += 1
+        if self._mon_streak < REPLAN_STREAK:
+            return False
+        self._replan(counts)
+        return True
+
+    def _replan(self, counts: list[int]) -> None:
+        """Retire every installed trace and arm a fresh build round.
+
+        Counters are never reset -- the exactness contract folds them at
+        the next observation point exactly as if the traces were still
+        installed.  Instead the cumulative profile is *snapshotted*, so
+        the rebuild plans from post-replan deltas: the new hot set, not
+        the whole run's history dominated by the dead phase.
+        """
+        self.replans_total += 1
+        self._mon_streak = 0
+        self._mon_trace = None
+        self._base_counts = counts[:]
+        self._base_taken = self._taken_arr[:]
+        self._base_bcounts = self.bcounts[:]
+        links = self._links
+        for info in self.traces:
+            # entries always kept the counting unit (or a reheat stub,
+            # which re-registers the counting fn on its first call)
+            self.fns[info.anchor] = self.entries[info.anchor][1]
+            for slot, _exit in info._sites:
+                if links[slot] is not None:
+                    self.links_severed += 1
+                links[slot] = None
+        self.retired.extend(self.traces)
+        self.traces = []
+        self._traced.clear()
+        self._relink()
+        # stale builds must not replay into future tables on this program
+        if self._cache:
+            del self._cache[:]
+            persist.invalidate(self._cache_key, self._persist)
+
+    def _new_link(self) -> int:
+        """Allocate one cross-trace link slot (emission-time helper)."""
+        self._links.append(None)
+        return len(self._links) - 1
+
+    def _record_build(self, artifact: dict) -> None:
+        """Record one trace build for replay by later tables; when
+        persistence is on, republish the program's whole artifact list."""
+        cache = self._cache
+        if cache is None:
+            return
+        cache.append(artifact)
+        if self._persist:
+            persist.publish(self._cache_key, cache)
+
+    def _relink(self) -> None:
+        """Rebuild the cross-trace link table from the active trace set.
+
+        A guard exit whose target index is another installed trace's
+        anchor gets that trace's function patched into its ``LK`` slot,
+        so the exit tail-calls the successor trace directly instead of
+        returning to the dispatch loop.  Admission is DAG-only: a link
+        cycle would nest Python frames without bound (A exits into B,
+        B exits into A, ...), so edges that would close a cycle are
+        refused and those exits keep returning to dispatch.  Retired or
+        unlinkable targets leave their slot ``None``.  ``call_bound``
+        is raised to the longest linked chain's instruction total, so
+        the dispatch loop's spree sizing stays overshoot-free.
+        """
+        links = self._links
+        traces = self.traces
+        by_anchor = {info.anchor: info for info in traces}
+        edges: dict[int, set[int]] = {info.anchor: set() for info in traces}
+
+        def reaches(src: int, dst: int) -> bool:
+            stack = [src]
+            seen: set[int] = set()
+            while stack:
+                node = stack.pop()
+                if node == dst:
+                    return True
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(edges[node])
+            return False
+
+        active = 0
+        for info in traces:
+            for slot, exit_index in info._sites:
+                target = by_anchor.get(exit_index)
+                if (target is not None and exit_index != info.anchor
+                        and not reaches(exit_index, info.anchor)):
+                    if links[slot] is None:
+                        self.links_made += 1
+                    links[slot] = self.fns[exit_index]
+                    edges[info.anchor].add(exit_index)
+                    active += 1
+                else:
+                    if links[slot] is not None:
+                        self.links_severed += 1
+                    links[slot] = None
+        self.trace_links = active
+
+        # longest instruction chain one fns call can now execute
+        memo: dict[int, int] = {}
+
+        def chain_cap(info) -> int:
+            cached = memo.get(info.anchor)
+            if cached is not None:
+                return cached
+            best = 0
+            for slot, exit_index in info._sites:
+                if links[slot] is not None:
+                    succ = by_anchor.get(exit_index)
+                    if succ is not None:
+                        depth = chain_cap(succ)
+                        if depth > best:
+                            best = depth
+            memo[info.anchor] = total = info.cap + best
+            return total
+
+        bound = self.unit_bound
+        for info in traces:
+            cap = chain_cap(info)
+            if cap > bound:
+                bound = cap
+        self.call_bound = bound
 
     # -- telemetry (run-end introspection; nothing here runs in dispatch) ----
 
@@ -324,7 +530,11 @@ class SuperblockTable:
             c = bcounts[bid]
             if c:
                 unit += c * sum(length for _, length in members[bid])
+        # retired traces' counters still hold whatever they executed this
+        # run before their replan retired them (bcounts reset at run
+        # start, so prior-run retirees contribute nothing)
         trace = sum(info.instructions for info in self.traces)
+        trace += sum(info.instructions for info in self.retired)
         return unit, trace
 
     def consume_stats(self) -> dict:
@@ -339,6 +549,9 @@ class SuperblockTable:
             "spills": self.spilled,
             "reheats": self.reheats,
             "trace_builds": self.trace_builds,
+            "replans": self.replans_total,
+            "links_made": self.links_made,
+            "links_severed": self.links_severed,
             "codegen_seconds": self.codegen_seconds,
             "codegen_units": self._cg.units_emitted,
             "codegen_lines": self._cg.lines_emitted,
@@ -369,16 +582,27 @@ class SuperblockTable:
                 self._folded.append(0)
                 self._cold.append(0)
             self._new_bid(members, tsites)
+        # link slots are baked into the cached code as absolute LK
+        # indices: grow the table past the highest slot any trace uses
+        # (slots of builds not replayed stay None forever, which is the
+        # unlinked behavior)
+        links = self._links
+        for info_fields in artifact["infos"]:
+            for slot, _exit in info_fields[7]:
+                while len(links) <= slot:
+                    links.append(None)
         namespace: dict = {}
         exec(artifact["code"], namespace)
         fns = namespace["_factory"](**self._ns)
         bound = self.call_bound
-        for anchor, blocks, loop, guards, cap, bids, call_bids in artifact["infos"]:
+        for (anchor, blocks, loop, guards, cap, bids, call_bids,
+             sites) in artifact["infos"]:
             self.fns[anchor] = fns[anchor]
             self._traced.add(anchor)
             self.traces.append(TraceInfo(
                 anchor=anchor, blocks=blocks, loop=loop, guards=guards,
                 cap=cap, _table=self, _bids=bids, _call_bids=call_bids,
+                _sites=tuple(sites),
             ))
             if cap > bound:
                 bound = cap

@@ -56,7 +56,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.superblock.codegen import _MAY_FAULT, _read_regs, _written_reg
+from repro.sim.superblock.codegen import (
+    FACTORY as _FACTORY,
+    _MAY_FAULT,
+    _read_regs,
+    _written_reg,
+)
 from repro.sim.superblock.leaders import BRANCHES, CONTROL_TRANSFERS
 
 __all__ = ["TraceInfo", "install_traces", "plan_traces",
@@ -89,8 +94,6 @@ PATH_CAP = 512
 #: a loop trace runs ~this many instructions per call (cycles * body)
 TRACE_CAP = 4096
 
-_FACTORY = "def _factory(R, T, BC, HL, DE, r8, r16, r32, w8, w16, w32, Halt, Err):"
-
 
 @dataclass
 class _Guard:
@@ -100,6 +103,7 @@ class _Guard:
     exit_index: int   # dispatch index the cold direction returns
     seg_no: int       # segments[:seg_no+1] executed when this guard exits
     bid: int = -1     # exit counter, assigned at emission
+    slot: int = -1    # cross-trace link slot (LK index), assigned at emission
 
 
 @dataclass
@@ -123,6 +127,16 @@ class TraceInfo:
     _table: object = field(repr=False, compare=False)
     _bids: tuple = field(repr=False, compare=False)
     _call_bids: tuple = field(repr=False, compare=False)
+    #: (LK slot, exit index) per guarded exit -- the link sites
+    #: :meth:`SuperblockTable._relink` patches when the exit's target is
+    #: another installed trace's anchor
+    _sites: tuple = field(repr=False, compare=False, default=())
+
+    @property
+    def links(self) -> int:
+        """Exits currently linked straight into another trace."""
+        links = self._table._links
+        return sum(1 for slot, _ in self._sites if links[slot] is not None)
 
     @property
     def calls(self) -> int:
@@ -168,17 +182,38 @@ def plan_traces(table, counts, taken) -> list[_TracePlan]:
     budget = MAX_TRACES - len(table.traces)
     if budget <= 0:
         return []
-    hot_min = max(HOT_ANCHOR, sum(counts) >> HOT_SHIFT)
+    # after a replan the table carries profile snapshots: plan from the
+    # deltas since the replan, so the rebuild sees the *new* phase's hot
+    # set instead of a history dominated by the retired one.  (The live
+    # arrays are never modified -- exactness folds stay untouched.)
+    base_counts = table._base_counts
+    if base_counts is not None:
+        counts = [c - b for c, b in zip(counts, base_counts)]
+        taken = [t - b for t, b in zip(taken, table._base_taken)]
+        # the replan that armed these baselines is itself evidence of a
+        # hot untraced phase (the monitor only fires on sustained
+        # execution outside traces), so the rebuild plans more eagerly:
+        # the delta profile covers a few warmup windows at most, and the
+        # full static floor would demand phase lengths no mid-run shift
+        # can show in that time
+        floor = HOT_ANCHOR >> 2
+    else:
+        floor = HOT_ANCHOR
+    hot_min = max(floor, sum(counts) >> HOT_SHIFT)
     suffix = table.suffix_len
     # anchor hotness is weighted by *dispatch entries* (per-unit fold
     # counters), not raw instruction counts: a leader that executes hot
     # but only ever mid-chain is never a dispatch target, so a trace
     # anchored there would never be called
     bcounts = table.bcounts
+    base_bcounts = table._base_bcounts
     entered: dict[int, int] = {}
     for bid, home in table._home.items():
-        if bcounts[bid]:
-            entered[home] = entered.get(home, 0) + bcounts[bid]
+        c = bcounts[bid]
+        if base_bcounts is not None and bid < len(base_bcounts):
+            c -= base_bcounts[bid]
+        if c > 0:
+            entered[home] = entered.get(home, 0) + c
     hot = sorted(
         ((entered.get(leader, 0) * suffix[leader], leader)
          for leader in table.leaders
@@ -355,6 +390,24 @@ class _LoopEnv:
         return [f"R[{reg}] = x{reg}" for reg in sorted(self.written)]
 
 
+def _exit_stmts(guard) -> list[str]:
+    """The hand-back at a guarded exit, via the cross-trace link slot.
+
+    When :meth:`SuperblockTable._relink` has patched the slot (the exit
+    lands on another installed trace's anchor), the exit tail-calls that
+    trace directly -- identical semantics to returning the index and
+    having the dispatch loop call ``fns[index]()``, minus the loop
+    round-trip.  Unlinked slots hold ``None`` and the exit returns to
+    dispatch as before.
+    """
+    return [
+        f"_l = LK[{guard.slot}]",
+        "if _l is not None:",
+        "    return _l()",
+        f"return {guard.exit_index}",
+    ]
+
+
 def _emit_guard(cg, env, instr, guard, body) -> list[str]:
     """The side exit for an in-trace branch.
 
@@ -375,7 +428,7 @@ def _emit_guard(cg, env, instr, guard, body) -> list[str]:
         tail = [f"    T[{guard.idx}] += 1"]
     tail.append(f"    BC[{guard.bid}] += 1")
     tail.extend("    " + stmt for stmt in env.peek_flush())
-    tail.append(f"    return {guard.exit_index}")
+    tail.extend("    " + stmt for stmt in _exit_stmts(guard))
     return [body + line for line in lines + tail]
 
 
@@ -388,15 +441,22 @@ def _emit_one(table, plan, name: str, lines: list[str]) -> TraceInfo:
     lines.append(f"{indent}def {name}():")
     body = indent + "    "
 
-    # -- counters: one bid per distinct runtime path through the trace
+    # -- counters: one bid per distinct runtime path through the trace,
+    # -- plus one cross-trace link slot per guarded exit
     hot_taken_sites: list[int] = []
     for guard in plan.guards:
         guard.bid = table._new_bid(segments[:guard.seg_no + 1],
                                    tuple(hot_taken_sites))
+        guard.slot = table._new_link()
         if guard.hot_taken:
             hot_taken_sites.append(guard.idx)
     guard_bids = tuple(guard.bid for guard in plan.guards)
     back = plan.back
+    if back is not None:
+        back.slot = table._new_link()
+    sites = tuple((guard.slot, guard.exit_index) for guard in plan.guards)
+    if back is not None:
+        sites += ((back.slot, back.exit_index),)
     if plan.loop:
         iter_sites = list(hot_taken_sites)
         if back is not None and back.hot_taken:
@@ -461,7 +521,7 @@ def _emit_one(table, plan, name: str, lines: list[str]) -> TraceInfo:
                         stmts.append(f"T[{back.idx}] += 1")
                     stmts.append(f"BC[{back.bid}] += 1")
                     stmts.extend(env.peek_flush())
-                    stmts.append(f"return {back.exit_index}")
+                    stmts.extend(_exit_stmts(back))
                 else:
                     stmts = []
                     if m == "jal":
@@ -493,7 +553,7 @@ def _emit_one(table, plan, name: str, lines: list[str]) -> TraceInfo:
     return TraceInfo(
         anchor=plan.anchor, blocks=tuple(segments), loop=plan.loop,
         guards=len(plan.guards), cap=cap,
-        _table=table, _bids=bids, _call_bids=call_bids,
+        _table=table, _bids=bids, _call_bids=call_bids, _sites=sites,
     )
 
 
@@ -529,19 +589,19 @@ def install_traces(table, counts, taken) -> None:
             bound = info.cap
     table.call_bound = bound
 
-    # record the build so later tables on the same executable replay it
-    # (compiled code + counter layout) instead of re-profiling
-    cache = getattr(table, "_cache", None)
-    if cache is not None:
-        build_bids = sorted(
-            {bid for info in infos
-             for bid in set(info._bids) | set(info._call_bids)}
-        )
-        cache.append({
-            "code": code,
-            "bids": [(bid, table.members[bid], table.tsites[bid])
-                     for bid in build_bids],
-            "infos": [(info.anchor, info.blocks, info.loop, info.guards,
-                       info.cap, info._bids, info._call_bids)
-                      for info in infos],
-        })
+    # record the build so later tables on the same program content replay
+    # it (compiled code + counter layout + link sites) instead of
+    # re-profiling; with persistence on the table also republishes the
+    # program's artifact list to the on-disk trace cache
+    build_bids = sorted(
+        {bid for info in infos
+         for bid in set(info._bids) | set(info._call_bids)}
+    )
+    table._record_build({
+        "code": code,
+        "bids": [(bid, table.members[bid], table.tsites[bid])
+                 for bid in build_bids],
+        "infos": [(info.anchor, info.blocks, info.loop, info.guards,
+                   info.cap, info._bids, info._call_bids, info._sites)
+                  for info in infos],
+    })

@@ -223,6 +223,22 @@ class TestTmpReap:
         assert sweep_stale_tmp(target) == 1
         assert young.exists() and not old.exists()
 
+    def test_sweep_skips_future_mtimes(self, tmp_path):
+        # a wall-clock step can land a fresh writer temp's mtime in the
+        # future; such files must never be reaped, no matter how large
+        # the apparent (negative) age gets
+        target = tmp_path / "shard"
+        target.mkdir()
+        fresh = target / "inflight.tmp"
+        fresh.write_bytes(b"x")
+        stamp = time.time() + 9 * 3600  # far future: clock stepped back
+        os.utime(fresh, (stamp, stamp))
+        assert sweep_stale_tmp(target) == 0
+        assert fresh.exists()
+        # and even with a tiny max_age the future file stays untouched
+        assert sweep_stale_tmp(target, max_age=0.0) == 0
+        assert fresh.exists()
+
     def test_reap_runs_once_per_shard_per_process(self, tmp_path):
         store = ShardedStore(tmp_path / "s")
         key = _key("reap")

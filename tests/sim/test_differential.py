@@ -384,6 +384,45 @@ class TestTraceHazards:
         # into the second phase; assert the tier actually built traces
         exe = compile_source(HAZARDS["phase_flip"], opt_level=1)
         cpu, _ = run_executable(
-            exe, trace_threshold=1, spree_size=4096, spill_after=2
+            exe, trace_threshold=1, spree_size=4096, spill_after=2,
+            replan_threshold=0.0,  # keep the stale trace installed
         )
         assert cpu.traces, "phase-flip program built no traces"
+
+    def test_phase_flip_triggers_replan(self):
+        # with re-planning on, the decaying call rate of the first-phase
+        # trace must trip a replan, and the rebuilt trace set must cover
+        # the second phase -- all while staying bit-identical
+        exe = compile_source(_phase_flip(40_000), opt_level=1)
+        ref = run_reference(exe, profile=True)
+        cpu, got = run_executable(
+            exe, profile=True, trace_threshold=1, spree_size=4096,
+            spill_after=2,
+        )
+        assert_identical(got, ref, "phase_flip replan")
+        sb = cpu._sb
+        assert sb.replans_total >= 1, "phase flip did not trigger a replan"
+        assert sb.retired, "replan retired no traces"
+        # recovery: the active (post-replan) traces must carry a healthy
+        # share of the run again, not just exist
+        active = sum(t.instructions for t in cpu.traces)
+        assert active > got.steps * 0.3, (
+            f"post-replan traces cover {active}/{got.steps} instructions"
+        )
+        # the retired first-phase traces did real work before decaying
+        assert sum(t.instructions for t in sb.retired) > 0
+        # and the second phase traced *new* code, not the stale anchors
+        assert {t.anchor for t in cpu.traces} != {
+            t.anchor for t in sb.retired
+        }
+
+    def test_phase_flip_replan_matches_threaded_memory(self):
+        exe = compile_source(_phase_flip(40_000), opt_level=1)
+        traced, _ = run_executable(
+            exe, trace_threshold=1, spree_size=4096
+        )
+        assert traced._sb.replans_total >= 1
+        plain, _ = run_executable(exe, engine="threaded")
+        for symbol in ("acc", "alt"):
+            assert traced.read_word_global_signed(symbol) \
+                == plain.read_word_global_signed(symbol)

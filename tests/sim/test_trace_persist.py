@@ -1,0 +1,163 @@
+"""Persistent trace cache (ROADMAP item g): content keying, the on-disk
+round trip, corruption handling, the off switch, and a real cold->warm
+process pair.
+
+The in-process side of the cache is covered by
+:class:`tests.sim.test_traces.TestBuildCache`; this file covers what
+survives the process.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.compiler import compile_source
+from repro.sim.cpu import Cpu
+from repro.sim.superblock import persist
+
+_LOOP_SOURCE = """
+int data[32];
+int checksum;
+int main(void) {
+    int i; int r; int acc;
+    acc = 7;
+    for (r = 0; r < 400; r++) {
+        for (i = 0; i < 32; i++) {
+            if (data[i] < 1000)
+                data[i] = data[i] * 3 + r;
+            else
+                data[i] = data[i] >> 1;
+            acc = acc + data[i];
+        }
+    }
+    checksum = acc + data[5];
+    return 0;
+}
+"""
+
+_HOT = {"trace_threshold": 1, "spree_size": 4096}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Every test gets its own on-disk cache dir and a cold in-process
+    cache, so content keying cannot leak warmth between tests."""
+    monkeypatch.setenv(persist.TRACE_CACHE_DIR_ENV, str(tmp_path / "trc"))
+    persist._MEMORY.clear()
+    yield tmp_path / "trc"
+    persist._MEMORY.clear()
+
+
+def _exe():
+    return compile_source(_LOOP_SOURCE, opt_level=1)
+
+
+def _entry_paths(root: Path) -> list[Path]:
+    return sorted(root.glob("*/*.trc"))
+
+
+class TestDiskRoundTrip:
+    def test_builds_persist_and_replay_from_disk(self, _isolated_cache):
+        exe = _exe()
+        cold = Cpu(exe, trace_persist=True, **_HOT)
+        cold_result = cold.run()
+        assert cold.traces
+        entries = _entry_paths(_isolated_cache)
+        assert entries, "persistence on but no .trc entry published"
+        # sever the in-process path: the only way back is through disk
+        persist._MEMORY.clear()
+        warm = Cpu(_exe(), trace_persist=True, **_HOT)
+        assert warm._sb.traces_built, "disk entry did not replay"
+        assert warm._sb.trace_builds == 0
+        warm_result = warm.run()
+        assert warm_result.steps == cold_result.steps
+        assert warm_result.cycles == cold_result.cycles
+        assert {t.anchor for t in warm.traces} == {t.anchor for t in cold.traces}
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, _isolated_cache):
+        cold = Cpu(_exe(), trace_persist=True, **_HOT)
+        cold.run()
+        entries = _entry_paths(_isolated_cache)
+        assert entries
+        entries[0].write_bytes(b"not a marshalled artifact list")
+        persist._MEMORY.clear()
+        recovered = Cpu(_exe(), trace_persist=True, **_HOT)
+        assert not recovered._sb.traces_built  # miss, cold start
+        recovered.run()
+        assert recovered.traces  # rebuilt from scratch without incident
+        # the poisoned entry was discarded and republished by the rebuild
+        fresh = _entry_paths(_isolated_cache)
+        assert fresh and fresh[0].read_bytes() != b"not a marshalled artifact list"
+
+    def test_persist_off_writes_nothing(self, _isolated_cache):
+        cpu = Cpu(_exe(), trace_persist=False, **_HOT)
+        cpu.run()
+        assert cpu.traces
+        assert not _entry_paths(_isolated_cache)
+
+    def test_profile_modes_key_separately_on_disk(self, _isolated_cache):
+        Cpu(_exe(), trace_persist=True, **_HOT).run()
+        persist._MEMORY.clear()
+        profiled = Cpu(_exe(), profile=True, trace_persist=True, **_HOT)
+        # the unprofiled disk entry must not replay into a profiled table
+        assert not profiled._sb.traces_built
+        profiled.run()
+        assert len(_entry_paths(_isolated_cache)) == 2
+
+
+class TestTraceKey:
+    def test_key_changes_with_content_and_profile(self):
+        exe = _exe()
+        other = compile_source(_LOOP_SOURCE.replace("acc = 7", "acc = 9"),
+                               opt_level=1)
+        assert persist.trace_key(exe, False) != persist.trace_key(other, False)
+        assert persist.trace_key(exe, False) != persist.trace_key(exe, True)
+        # stable across calls and across Executable instances
+        assert persist.trace_key(exe, False) == persist.trace_key(_exe(), False)
+
+
+class TestCrossProcess:
+    def test_second_process_starts_trace_warm(self, _isolated_cache):
+        """The headline property of item (g): a brand-new process on the
+        same program replays the first process's builds."""
+        script = (
+            "import json, sys\n"
+            "from repro.compiler import compile_source\n"
+            "from repro.sim.cpu import Cpu\n"
+            "source = sys.stdin.read()\n"
+            "exe = compile_source(source, opt_level=1)\n"
+            "cpu = Cpu(exe, trace_threshold=1, spree_size=4096)\n"
+            "result = cpu.run()\n"
+            "print(json.dumps({\n"
+            "    'builds': cpu._sb.trace_builds,\n"
+            "    'traces': len(cpu.traces),\n"
+            "    'steps': result.steps,\n"
+            "    'cycles': result.cycles,\n"
+            "    'checksum': cpu.read_word_global_signed('checksum'),\n"
+            "}))\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_TRACE_PERSIST"] = "on"
+        env["REPRO_TRACE_CACHE_DIR"] = str(_isolated_cache)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+
+        def run_once():
+            proc = subprocess.run(
+                [sys.executable, "-c", script], input=_LOOP_SOURCE,
+                capture_output=True, text=True, env=env, timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return json.loads(proc.stdout)
+
+        first = run_once()
+        assert first["builds"] > 0 and first["traces"] > 0
+        second = run_once()
+        assert second["builds"] == 0, "second process re-built its traces"
+        assert second["traces"] == first["traces"]
+        for field in ("steps", "cycles", "checksum"):
+            assert second[field] == first[field]

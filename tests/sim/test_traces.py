@@ -14,8 +14,20 @@ from repro.compiler import compile_source
 from repro.errors import SimulationError
 from repro.sim import run_reference
 from repro.sim.cpu import Cpu
-from repro.sim.superblock.dispatch import _TRACE_CACHE
+from repro.sim.superblock import persist
 from repro.sim.superblock.traces import MAX_TRACES
+
+
+@pytest.fixture(autouse=True)
+def _cold_trace_cache():
+    """The build cache is content-keyed, so every test compiling the
+    shared loop source would otherwise start trace-warm from whichever
+    test ran first; clear the in-process cache so each test controls
+    its own warmth.  (On-disk persistence is already off suite-wide via
+    the session ``REPRO_CACHE=off`` fixture.)"""
+    persist._MEMORY.clear()
+    yield
+    persist._MEMORY.clear()
 
 #: a hot counted loop with a biased branch and a trailing cold phase --
 #: small enough to compile fast, hot enough to clear the anchor bar
@@ -139,17 +151,38 @@ class TestBuildCache:
         cold.run()
         assert cold.traces == ()
 
-    def test_cache_entry_dies_with_executable(self):
+    def test_cache_keyed_by_content_not_identity(self):
+        # two independently compiled Executables with identical bytes
+        # share one cache entry -- the second starts trace-warm
+        warm = Cpu(_exe(), **_HOT)
+        warm.run()
+        assert warm.traces
+        twin = Cpu(_exe(), **_HOT)
+        assert twin._sb.traces_built, "content twin should replay the cache"
+        assert {t.anchor for t in twin.traces} == {t.anchor for t in warm.traces}
+
+    def test_no_replay_across_distinct_executables(self):
+        # regression for the id()-keyed cache: allocate and drop
+        # executables of alternating programs so the allocator is free
+        # to reuse addresses; a freshly compiled *different* program
+        # must never start with another program's traces installed
         import gc
 
-        exe = _exe()
-        key = id(exe)
-        cpu = Cpu(exe, **_HOT)
-        cpu.run()
-        assert key in _TRACE_CACHE
-        del cpu, exe
-        gc.collect()
-        assert key not in _TRACE_CACHE
+        other_source = _LOOP_SOURCE.replace("acc = 7;", "acc = 11;")
+        for round_no in range(6):
+            source = _LOOP_SOURCE if round_no % 2 == 0 else other_source
+            exe = compile_source(source, opt_level=1)
+            cpu = Cpu(exe, **_HOT)
+            if round_no < 2:
+                # first sighting of each program: must start cold
+                assert not cpu._sb.traces_built, (
+                    "round %d replayed a stale artifact" % round_no
+                )
+            cpu.run()
+            anchors = {t.anchor for t in cpu.traces}
+            del cpu, exe
+            gc.collect()
+        assert anchors  # the loop actually exercised the trace tier
 
     def test_profile_modes_cached_separately(self):
         exe = _exe()
