@@ -40,7 +40,9 @@ from repro.flow import (
     run_flow,
     run_flow_on_executable,
 )
+from repro.partition.api import PartitionOutcome
 from repro.partition.ninety_ten import NinetyTenPartitioner
+from repro.platform.devices import DeviceSpec
 from repro.platform.platform import (
     MIPS_200MHZ,
     MIPS_400MHZ,
@@ -64,7 +66,9 @@ __all__ = [
     "MIPS_200MHZ",
     "MIPS_400MHZ",
     "MIPS_40MHZ",
+    "DeviceSpec",
     "NinetyTenPartitioner",
+    "PartitionOutcome",
     "Platform",
     "SOFTCORE_50MHZ",
     "SOFTCORE_85MHZ",

@@ -118,6 +118,71 @@ def cmd_decompile(args) -> int:
     return 0 if program.recovered else 1
 
 
+def _parse_devices(tokens, platform):
+    """``KIND:GATES[@MHZ]`` tokens -> a DeviceSpec list (CPU implied).
+
+    Examples: ``fabric:60000``, ``fabric:40000@210``, ``cgra:30000@150``.
+    """
+    from repro.platform.devices import cgra_device, cpu_device, fabric_device
+
+    makers = {"fabric": fabric_device, "cgra": cgra_device}
+    devices = [cpu_device(platform.cpu_clock_mhz)]
+    index = {"fabric": 0, "cgra": 0}
+    for token in tokens:
+        kind, _, rest = token.partition(":")
+        if kind not in makers or not rest:
+            raise SystemExit(
+                f"bad device spec {token!r}: expected KIND:GATES[@MHZ] with "
+                f"KIND in {sorted(makers)}"
+            )
+        gates_s, _, clock_s = rest.partition("@")
+        try:
+            gates = float(gates_s)
+            clock = float(clock_s) if clock_s else None
+        except ValueError:
+            raise SystemExit(f"bad device spec {token!r}: non-numeric field")
+        if kind == "fabric":
+            device = fabric_device(
+                index[kind], gates, clock or platform.device.max_clock_mhz,
+                platform.device.bram_bytes,
+            )
+        else:
+            device = cgra_device(index[kind], gates, *(
+                [clock] if clock else []
+            ))
+        index[kind] += 1
+        devices.append(device)
+    return tuple(devices)
+
+
+def _parse_passes(spec, algorithm):
+    """A ``--passes`` list like ``filter,annotate,place,legalize,report``
+    (``place`` resolves to --algorithm's placement pass)."""
+    from repro.partition.api import default_passes, make_placement
+    from repro.partition.passes import (
+        AnnotatePass, FilterPass, LegalizePass, ReportPass,
+    )
+
+    if not spec:
+        return default_passes(algorithm)
+    known = {
+        "filter": FilterPass,
+        "annotate": AnnotatePass,
+        "place": lambda: make_placement(algorithm),
+        "legalize": LegalizePass,
+        "report": ReportPass,
+    }
+    passes = []
+    for name in spec.split(","):
+        name = name.strip()
+        if name not in known:
+            raise SystemExit(
+                f"unknown pass {name!r} (known: {sorted(known)})"
+            )
+        passes.append(known[name]())
+    return passes
+
+
 def cmd_partition(args) -> int:
     exe = _load(args.binary)
     platform = Platform(
@@ -126,24 +191,44 @@ def cmd_partition(args) -> int:
         device=VIRTEX2_DEVICES[args.device],
     )
     options = DecompilationOptions(recover_jump_tables=args.jump_tables)
+    devices = _parse_devices(args.devices, platform) if args.devices else None
+    passes = None
+    if args.devices or args.passes or args.algorithm != "90-10":
+        passes = _parse_passes(args.passes, args.algorithm)
     report = run_flow_on_executable(
-        exe, Path(args.binary).stem, platform=platform, decompile_options=options
+        exe, Path(args.binary).stem, platform=platform,
+        decompile_options=options, devices=devices, partition_passes=passes,
     )
     if not report.recovered:
         print(f"CDFG recovery failed ({report.failure_reason}); "
               "software-only implementation")
         return 1
+    partition = report.partition
     print(f"platform            : {platform.name}")
+    if devices is not None:
+        specs = ", ".join(
+            f"{d.name} ({d.capacity_gates:,.0f} gates @ {d.clock_mhz:.0f} MHz)"
+            for d in devices if not d.is_cpu
+        )
+        print(f"devices             : cpu + {specs}")
+    print(f"algorithm           : {partition.algorithm}")
     print(f"software cycles     : {report.run.cycles:,}")
     for kernel in report.metrics.kernels:
+        where = partition.placements.get(kernel.name, "fabric0")
         print(f"  step {kernel.partition_step}: {kernel.name:32s} "
               f"{kernel.speedup:6.1f}x  {kernel.area_gates:9,.0f} gates  "
-              f"{'BRAM' if kernel.localized else 'bus'}")
+              f"{'BRAM' if kernel.localized else 'bus':4s} -> {where}")
     print(f"application speedup : {report.app_speedup:.2f}x")
     print(f"kernel speedup      : {report.kernel_speedup:.1f}x")
     print(f"energy savings      : {100 * report.energy_savings:.1f}%")
-    print(f"area                : {report.area_gates:,.0f} / "
-          f"{platform.device.capacity_gates:,} gates")
+    print(f"area                : {partition.area_used:,.0f} / "
+          f"{partition.area_budget:,.0f} gates")
+    if partition.pass_seconds:
+        timing = "  ".join(
+            f"{name} {seconds * 1e3:.2f}ms"
+            for name, seconds in partition.pass_seconds.items()
+        )
+        print(f"pipeline            : {timing}")
     return 0
 
 
@@ -539,6 +624,18 @@ def main(argv=None) -> int:
     p.add_argument("--cpu-mhz", type=float, default=200.0)
     p.add_argument("--device", default="xc2v250", choices=sorted(VIRTEX2_DEVICES))
     p.add_argument("--jump-tables", action="store_true")
+    p.add_argument("--algorithm", default="90-10",
+                   choices=["90-10", "greedy", "gclp", "annealing",
+                            "exhaustive"],
+                   help="placement pass for the partitioning pipeline")
+    p.add_argument("--devices", nargs="+", metavar="KIND:GATES[@MHZ]",
+                   help="explicit device list beyond the CPU, e.g. "
+                        "'fabric:40000 fabric:40000 cgra:30000@150' "
+                        "(default: one monolithic fabric)")
+    p.add_argument("--passes", metavar="NAME[,NAME...]",
+                   help="ordered pipeline passes (default: "
+                        "filter,annotate,place,legalize,report)")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_partition)
 
     p = sub.add_parser("vhdl", help="emit RT-level VHDL for the hottest loop")

@@ -54,7 +54,8 @@ from repro.decompile.decompiler import (
 from repro.dynamic.fabric import FabricState
 from repro.dynamic.profiler import OnlineProfiler, ProfilerConfig
 from repro.errors import SynthesisError
-from repro.partition.estimator import kernel_fpga_cycles, kernel_hw_seconds
+from repro.partition.costmodels import cost_model_for
+from repro.partition.estimator import kernel_fpga_cycles
 from repro.partition.profiles import LoopProfile, _block_ranges
 from repro.platform.platform import Platform
 from repro.synth.synthesizer import HwKernel, SynthesisOptions, Synthesizer
@@ -376,6 +377,10 @@ class DynamicPartitionController:
         self._sites: dict[int, LoopSite] | None = None   # lazy on-chip CAD
         self._synthesizer = Synthesizer(self.synthesis_options)
         self._unrecoverable = False
+        #: online hardware-time estimates go through the same per-device
+        #: cost-model registry as static placement, so the controller's
+        #: accounting can never drift from the partitioning pipeline's
+        self._fabric_cost_model = cost_model_for("fabric")
 
     # -- on-chip CAD --------------------------------------------------------
 
@@ -714,7 +719,9 @@ class DynamicPartitionController:
             if cumulative.iterations <= 0 or loop_cycles <= 0:
                 continue
             sw_seconds = loop_cycles / cpu_hz
-            hw_seconds = kernel_hw_seconds(self.platform, kernel, cumulative)
+            hw_seconds = self._fabric_cost_model.kernel_seconds(
+                self.platform, kernel, cumulative
+            )
             if hw_seconds <= 0 or sw_seconds / hw_seconds <= config.min_speedup:
                 continue
             saved = sw_seconds - hw_seconds
@@ -733,8 +740,9 @@ class DynamicPartitionController:
         if cumulative.iterations <= 0 or loop_cycles <= 0:
             return 0.0
         sw_seconds = loop_cycles / (self.platform.cpu_clock_mhz * 1e6)
-        hw_seconds = kernel_hw_seconds(self.platform, kernel=site.kernel,
-                                       profile=cumulative)
+        hw_seconds = self._fabric_cost_model.kernel_seconds(
+            self.platform, site.kernel, cumulative
+        )
         return sw_seconds - hw_seconds
 
     def _evict(self, address: int, event: RepartitionEvent) -> None:

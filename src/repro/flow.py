@@ -35,8 +35,9 @@ from repro.decompile.decompiler import (
     PassStats,
     decompile,
 )
+from repro.partition.api import default_passes, legacy_devices, partition as run_partition
 from repro.partition.estimator import build_candidates
-from repro.partition.ninety_ten import NinetyTenPartitioner, PartitionResult
+from repro.partition.ninety_ten import PartitionResult
 from repro.partition.profiles import ProgramProfile, build_profile
 from repro.platform.metrics import ApplicationMetrics, evaluate_partition
 from repro.platform.platform import MIPS_200MHZ, Platform
@@ -365,6 +366,8 @@ def run_flow_on_executable(
     synthesis_options: SynthesisOptions | None = None,
     max_steps: int = 200_000_000,
     run: RunResult | None = None,
+    devices=None,
+    partition_passes=None,
 ) -> FlowReport:
     """Flow starting from an already-built binary (the paper's actual input).
 
@@ -372,6 +375,11 @@ def run_flow_on_executable(
     have been produced with ``profile=True`` and this platform's CPI model);
     the dynamic flow uses this to evaluate static and dynamic partitioning
     from one simulation.
+
+    *devices* (a :class:`~repro.platform.devices.DeviceSpec` sequence) and
+    *partition_passes* (a pass list or algorithm name) select the
+    partitioning pipeline; the defaults reproduce the paper's flow -- the
+    90-10 heuristic over the two-device CPU + monolithic-fabric view.
     """
     if run is None:
         with obs.span("flow.simulate", benchmark=name):
@@ -400,8 +408,19 @@ def run_flow_on_executable(
     synthesis = synthesis_options or SynthesisOptions(device=platform.device)
     with obs.span("flow.partition", benchmark=name):
         candidates = build_candidates(exe, program, profile, platform, synthesis)
-        partitioner = NinetyTenPartitioner(platform)
-        partition = partitioner.partition(candidates, profile.total_cycles)
+        if devices is None and partition_passes is None:
+            # the paper's flow: 90-10 over CPU + monolithic fabric,
+            # bit-identical to the pre-pipeline partitioner
+            devices = legacy_devices(platform)
+            partition_passes = default_passes("90-10", legacy=True)
+        outcome = run_partition(
+            candidates,
+            devices,
+            platform=platform,
+            total_cycles=profile.total_cycles,
+            passes=partition_passes,
+        )
+        partition = outcome.result
     metrics = evaluate_partition(
         platform, profile.total_cycles, partition.selected, partition.step_of
     )

@@ -3,69 +3,53 @@
 The paper cites Henkel'99 (simulated annealing, low power) and
 Kalavade & Lee'94 (GCLP) as "standard hardware/software partitioning
 approaches" it chose not to use in favour of the fast 90-10 heuristic.
-These implementations operate on the same :class:`Candidate` list so the
-ablation benchmark can compare solution quality *and partitioning runtime*
--- the axis the paper actually optimized.
 
-All baselines respect candidate overlap (nested loops) and the area budget.
+These entry points are now thin shims over the pass pipeline
+(:mod:`repro.partition.api`): each runs its algorithm's
+:class:`~repro.partition.placement.PlacementPass` on the legacy
+two-device view (CPU + one monolithic fabric carrying the full budget)
+and reproduces the pre-refactor results bit-identically -- see
+``tests/partition/test_legacy_shim.py``.  New code should call
+:func:`repro.partition.api.partition` directly with an explicit device
+list.
 """
 
 from __future__ import annotations
 
-import itertools
-import random
-import time
-
+from repro.partition.api import default_passes, legacy_devices, partition
 from repro.partition.estimator import Candidate
-from repro.partition.ninety_ten import PartitionResult
+from repro.partition.placement import (
+    AnnealingPlacement,
+    ExhaustivePlacement,
+    GclpPlacement,
+    GreedyPlacement,
+    PlacementPass,
+)
+from repro.partition.result import PartitionResult
 from repro.platform.platform import Platform
 
 
-def _feasible(selection: list[Candidate], budget: float) -> bool:
-    area = sum(c.area for c in selection)
-    if area > budget:
-        return False
-    for a, b in itertools.combinations(selection, 2):
-        if a.overlaps(b):
-            return False
-    return True
-
-
-def _result(
-    selection: list[Candidate], budget: float, algorithm: str, seconds: float
+def _run_legacy(
+    platform: Platform,
+    candidates: list[Candidate],
+    total_cycles: int,
+    placement: PlacementPass,
 ) -> PartitionResult:
-    result = PartitionResult(
-        selected=list(selection),
-        area_used=sum(c.area for c in selection),
-        area_budget=budget,
-        partitioning_seconds=seconds,
-        algorithm=algorithm,
+    outcome = partition(
+        candidates,
+        legacy_devices(platform),
+        platform=platform,
+        total_cycles=total_cycles,
+        passes=default_passes(placement, legacy=True),
     )
-    for candidate in selection:
-        result.step_of[candidate.name] = 0
-    return result
+    return outcome.result
 
 
 def greedy_partition(
     platform: Platform, candidates: list[Candidate], total_cycles: int
 ) -> PartitionResult:
     """Greedy by time-saved per gate (classic knapsack value density)."""
-    start = time.perf_counter()
-    budget = platform.capacity_gates
-    ranked = sorted(
-        candidates,
-        key=lambda c: -(c.saved_seconds / c.area if c.area > 0 else 0.0),
-    )
-    chosen: list[Candidate] = []
-    area = 0.0
-    for candidate in ranked:
-        if candidate.saved_seconds <= 0 or area + candidate.area > budget:
-            continue
-        if any(candidate.overlaps(other) for other in chosen):
-            continue
-        chosen.append(candidate)
-        area += candidate.area
-    return _result(chosen, budget, "greedy", time.perf_counter() - start)
+    return _run_legacy(platform, candidates, total_cycles, GreedyPlacement())
 
 
 def exhaustive_partition(
@@ -75,61 +59,17 @@ def exhaustive_partition(
     max_candidates: int = 14,
 ) -> PartitionResult:
     """Optimal subset by estimated application time (reference, small n)."""
-    start = time.perf_counter()
-    budget = platform.capacity_gates
-    pool = sorted(candidates, key=lambda c: -c.saved_seconds)[:max_candidates]
-    best: list[Candidate] = []
-    best_saved = 0.0
-    for mask in range(1 << len(pool)):
-        selection = [pool[i] for i in range(len(pool)) if mask >> i & 1]
-        if not _feasible(selection, budget):
-            continue
-        saved = sum(c.saved_seconds for c in selection)
-        if saved > best_saved:
-            best_saved = saved
-            best = selection
-    return _result(best, budget, "exhaustive", time.perf_counter() - start)
+    return _run_legacy(
+        platform, candidates, total_cycles,
+        ExhaustivePlacement(max_candidates=max_candidates),
+    )
 
 
 def gclp_partition(
     platform: Platform, candidates: list[Candidate], total_cycles: int
 ) -> PartitionResult:
-    """GCLP-style partitioner after Kalavade & Lee (1994), adapted to loop
-    granularity.
-
-    Each step computes a *global criticality* GC -- how far the current
-    mapping is from the performance objective -- and maps the next
-    unmapped region: time-critical steps (high GC) map the region with the
-    largest time saving to hardware; relaxed steps use the *local phase*
-    preference, here area economy (saved seconds per gate).  This follows
-    the published algorithm's structure while using this repo's cost
-    models; it is a faithful adaptation, not a line-by-line port.
-    """
-    start = time.perf_counter()
-    budget = platform.capacity_gates
-    objective = 0.5 * platform.cpu_seconds(total_cycles)  # target: halve time
-
-    unmapped = [c for c in candidates if c.saved_seconds > 0]
-    chosen: list[Candidate] = []
-    area = 0.0
-    current_time = platform.cpu_seconds(total_cycles)
-    while unmapped:
-        gc = (current_time - objective) / max(current_time, 1e-12)
-        if gc > 0.1:
-            unmapped.sort(key=lambda c: -c.saved_seconds)
-        else:
-            unmapped.sort(
-                key=lambda c: -(c.saved_seconds / c.area if c.area else 0.0)
-            )
-        candidate = unmapped.pop(0)
-        if area + candidate.area > budget:
-            continue
-        if any(candidate.overlaps(other) for other in chosen):
-            continue
-        chosen.append(candidate)
-        area += candidate.area
-        current_time -= candidate.saved_seconds
-    return _result(chosen, budget, "gclp", time.perf_counter() - start)
+    """GCLP-style partitioner after Kalavade & Lee (1994)."""
+    return _run_legacy(platform, candidates, total_cycles, GclpPlacement())
 
 
 def annealing_partition(
@@ -139,58 +79,8 @@ def annealing_partition(
     iterations: int = 4000,
     seed: int = 12345,
 ) -> PartitionResult:
-    """Simulated annealing after Henkel (1999), minimizing execution time
-    with an area-violation penalty.  Deterministic via a fixed seed."""
-    start = time.perf_counter()
-    rng = random.Random(seed)
-    budget = platform.capacity_gates
-    pool = [c for c in candidates if c.saved_seconds != 0.0]
-    if not pool:
-        return _result([], budget, "annealing", time.perf_counter() - start)
-
-    def cost(bits: list[bool]) -> float:
-        selection = [c for c, bit in zip(pool, bits) if bit]
-        area = sum(c.area for c in selection)
-        saved = sum(c.saved_seconds for c in selection)
-        penalty = 0.0
-        if area > budget:
-            penalty += (area - budget) / budget
-        for a, b in itertools.combinations(selection, 2):
-            if a.overlaps(b):
-                penalty += 1.0
-        baseline = platform.cpu_seconds(total_cycles)
-        return (baseline - saved) / baseline + penalty
-
-    bits = [False] * len(pool)
-    best_bits = list(bits)
-    current = cost(bits)
-    best = current
-    temperature = 1.0
-    for step in range(iterations):
-        index = rng.randrange(len(pool))
-        bits[index] = not bits[index]
-        candidate_cost = cost(bits)
-        delta = candidate_cost - current
-        if delta <= 0 or rng.random() < pow(2.718281828, -delta / max(temperature, 1e-9)):
-            current = candidate_cost
-            if current < best:
-                best = current
-                best_bits = list(bits)
-        else:
-            bits[index] = not bits[index]
-        temperature *= 0.999
-
-    selection = [c for c, bit in zip(pool, best_bits) if bit]
-    if not _feasible(selection, budget):
-        # drop worst offenders until feasible
-        selection.sort(key=lambda c: -c.saved_seconds)
-        repaired: list[Candidate] = []
-        area = 0.0
-        for candidate in selection:
-            if area + candidate.area <= budget and not any(
-                candidate.overlaps(other) for other in repaired
-            ):
-                repaired.append(candidate)
-                area += candidate.area
-        selection = repaired
-    return _result(selection, budget, "annealing", time.perf_counter() - start)
+    """Simulated annealing after Henkel (1999), deterministic via seed."""
+    return _run_legacy(
+        platform, candidates, total_cycles,
+        AnnealingPlacement(iterations=iterations, seed=seed),
+    )

@@ -9,42 +9,24 @@
     hardware partition based on profiling results and hardware suitability
     until the area constraint is violated."
 
-The deliberate simplicity (greedy, no search) is the point: the paper
-chooses it over classic partitioners [Henkel'99, Kalavade-Lee'94] to keep
-partitioning time small enough for dynamic (run-time) use.  The ablation
-benchmark compares quality and runtime against those baselines.
+The algorithm itself lives in
+:class:`repro.partition.placement.NinetyTenPlacement`; this module keeps
+the legacy two-device API (:class:`NinetyTenPartitioner`) as a shim over
+the pass pipeline, reproducing pre-refactor results bit-identically (see
+``tests/partition/test_legacy_shim.py``).  ``PartitionResult`` and
+``NinetyTenOptions`` are re-exported from their new homes so existing
+imports -- and pickled flow caches -- keep resolving.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
+from repro.partition.api import default_passes, legacy_devices, partition
 from repro.partition.estimator import Candidate
+from repro.partition.placement import NinetyTenOptions, NinetyTenPlacement
+from repro.partition.result import PartitionResult
 from repro.platform.platform import Platform
 
-
-@dataclass
-class PartitionResult:
-    selected: list[Candidate] = field(default_factory=list)
-    area_used: float = 0.0
-    area_budget: float = 0.0
-    partitioning_seconds: float = 0.0
-    algorithm: str = "90-10"
-    #: which step chose each kernel (1 = hot loops, 2 = alias coupling,
-    #: 3 = greedy fill), by candidate name
-    step_of: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def names(self) -> list[str]:
-        return [candidate.name for candidate in self.selected]
-
-
-@dataclass(frozen=True)
-class NinetyTenOptions:
-    hot_fraction: float = 0.90   # the "90" of 90-10
-    max_hot_loops: int = 8       # "the most frequent few loops"
-    min_local_speedup: float = 1.0
+__all__ = ["NinetyTenOptions", "NinetyTenPartitioner", "PartitionResult"]
 
 
 class NinetyTenPartitioner:
@@ -52,78 +34,16 @@ class NinetyTenPartitioner:
         self.platform = platform
         self.options = options or NinetyTenOptions()
 
-    def partition(self, candidates: list[Candidate], total_cycles: int) -> PartitionResult:
-        start_time = time.perf_counter()
-        budget = self.platform.capacity_gates
-        result = PartitionResult(area_budget=budget, algorithm="90-10")
-
-        def fits(candidate: Candidate) -> bool:
-            return result.area_used + candidate.area <= budget
-
-        def conflicts(candidate: Candidate) -> bool:
-            return any(candidate.overlaps(chosen) for chosen in result.selected)
-
-        def select(candidate: Candidate, step: int) -> None:
-            result.selected.append(candidate)
-            result.area_used += candidate.area
-            result.step_of[candidate.name] = step
-
-        # --- step 1: the most frequent few loops (~90% of execution) -----
-        # Hot loops are ranked by software cycles; for each hot loop the
-        # best *granularity* within its nest (outer vs inner) is the family
-        # member that saves the most time -- e.g. a pipelinable inner loop
-        # usually beats its enclosing outer loop.
-        ranked = sorted(candidates, key=lambda c: -c.profile.sw_cycles)
-        covered = 0
-        for candidate in ranked:
-            if covered >= self.options.hot_fraction * total_cycles:
-                break
-            if len(result.selected) >= self.options.max_hot_loops:
-                break
-            if conflicts(candidate) or not fits(candidate):
-                continue
-            family = [c for c in ranked if c is candidate or c.overlaps(candidate)]
-            family = [c for c in family if not conflicts(c) and fits(c)]
-            if not family:
-                continue
-            best = max(family, key=lambda c: c.saved_seconds)
-            if best.local_speedup <= self.options.min_local_speedup:
-                continue
-            select(best, step=1)
-            covered += best.profile.sw_cycles
-
-        # --- step 2: alias-coupled regions -------------------------------
-        selected_symbols: set[str] = set()
-        for candidate in result.selected:
-            footprint = candidate.function.loop_footprints.get(
-                candidate.profile.header_address
-            )
-            if footprint is not None:
-                selected_symbols |= footprint.symbols
-        for candidate in ranked:
-            if conflicts(candidate) or not fits(candidate):
-                continue
-            footprint = candidate.function.loop_footprints.get(
-                candidate.profile.header_address
-            )
-            if footprint is None or not footprint.symbols:
-                continue
-            if footprint.symbols & selected_symbols:
-                if candidate.local_speedup > self.options.min_local_speedup:
-                    select(candidate, step=2)
-                    selected_symbols |= footprint.symbols
-
-        # --- step 3: greedy fill by profile x suitability ------------------
-        remaining = [c for c in ranked if not conflicts(c)]
-        remaining.sort(key=lambda c: -(c.profile.sw_cycles * max(0.0, c.local_speedup)))
-        for candidate in remaining:
-            if conflicts(candidate):
-                continue
-            if not fits(candidate):
-                continue  # paper: "until the area constraint is violated"
-            if candidate.saved_seconds <= 0:
-                continue
-            select(candidate, step=3)
-
-        result.partitioning_seconds = time.perf_counter() - start_time
-        return result
+    def partition(
+        self, candidates: list[Candidate], total_cycles: int
+    ) -> PartitionResult:
+        outcome = partition(
+            candidates,
+            legacy_devices(self.platform),
+            platform=self.platform,
+            total_cycles=total_cycles,
+            passes=default_passes(
+                NinetyTenPlacement(self.options), legacy=True
+            ),
+        )
+        return outcome.result

@@ -18,6 +18,7 @@ from repro.platform.platform import (
     SOFTCORE_85MHZ,
     Platform,
 )
+from repro.platform.devices import DeviceSpec, cgra_device, cpu_device, fabric_device
 from repro.platform.power import CpuPowerModel, FpgaPowerModel
 from repro.platform.metrics import (
     ApplicationMetrics,
@@ -28,6 +29,10 @@ from repro.platform.metrics import (
 __all__ = [
     "ApplicationMetrics",
     "CpuPowerModel",
+    "DeviceSpec",
+    "cgra_device",
+    "cpu_device",
+    "fabric_device",
     "FpgaPowerModel",
     "KernelMetrics",
     "MIPS_200MHZ",

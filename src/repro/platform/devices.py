@@ -1,0 +1,78 @@
+"""Device inventory of a platform: the units placement can target.
+
+The paper's platform is a binary CPU/FPGA pair, but the partitioning
+pipeline places kernels over an explicit *device list*: the CPU plus
+one-or-more fabric regions today, CGRA datapaths or extra soft-core slots
+tomorrow -- they are just more entries.  :class:`DeviceSpec` is the
+placement-facing view of one such unit; :attr:`repro.platform.platform.
+Platform.devices` derives the list from the platform's fabric
+configuration, and the per-device cost models in
+:mod:`repro.partition.costmodels` are looked up by :attr:`DeviceSpec.kind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: device kinds with built-in cost models (see repro.partition.costmodels)
+CPU = "cpu"
+FABRIC = "fabric"
+CGRA = "cgra"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One placement target: the CPU, a fabric region, a CGRA grid, ...
+
+    ``capacity_gates`` is the area budget placement must respect on this
+    device; the CPU carries 0.0 (software costs no fabric) and is always
+    the fallback target for unplaced kernels.
+    """
+
+    name: str              # unique within one platform: "cpu", "fabric0", ...
+    kind: str              # cost-model key: "cpu" | "fabric" | "cgra" | ...
+    capacity_gates: float  # area budget for kernels (0.0 for the CPU)
+    clock_mhz: float       # device clock ceiling (CPU clock for the CPU)
+    bram_bytes: int = 0    # on-chip RAM reachable from this device
+    index: int = 0         # ordinal among same-kind devices (fabric0, 1, ..)
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.kind == CPU
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_cpu:
+            return f"{self.name} ({self.clock_mhz:.0f} MHz)"
+        return (f"{self.name} ({self.kind}, "
+                f"{self.capacity_gates:,.0f} gates)")
+
+
+def cpu_device(clock_mhz: float) -> DeviceSpec:
+    return DeviceSpec(name=CPU, kind=CPU, capacity_gates=0.0,
+                      clock_mhz=clock_mhz)
+
+
+def fabric_device(
+    index: int, capacity_gates: float, clock_mhz: float, bram_bytes: int = 0
+) -> DeviceSpec:
+    return DeviceSpec(
+        name=f"fabric{index}", kind=FABRIC, capacity_gates=capacity_gates,
+        clock_mhz=clock_mhz, bram_bytes=bram_bytes, index=index,
+    )
+
+
+def cgra_device(
+    index: int, capacity_gates: float, clock_mhz: float = 150.0
+) -> DeviceSpec:
+    """A coarse-grained reconfigurable array slot (word-level ALU grid).
+
+    Galanis et al. style: word-level datapaths amortize the per-bit LUT
+    overhead, so the same kernel packs into fewer equivalent gates and the
+    grid clocks at a fixed word-level rate rather than the datapath-limited
+    LUT clock.  The cost model in :mod:`repro.partition.costmodels` applies
+    those curves; the spec just carries the budget.
+    """
+    return DeviceSpec(
+        name=f"cgra{index}", kind=CGRA, capacity_gates=capacity_gates,
+        clock_mhz=clock_mhz, index=index,
+    )

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.sim.cpu import CpiModel
 from repro.synth.fpga import DEFAULT_DEVICE, FpgaDevice
+from repro.platform.devices import DeviceSpec, cpu_device, fabric_device
 from repro.platform.power import CpuPowerModel, FpgaPowerModel
 
 
@@ -64,6 +65,29 @@ class Platform:
         if self.fabric_regions <= 0:
             return 0.0
         return self.capacity_gates / self.fabric_regions
+
+    @property
+    def devices(self) -> tuple[DeviceSpec, ...]:
+        """Placement-facing device list: the CPU plus the fabric region(s).
+
+        A monolithic fabric (``fabric_regions == 0``) is one fabric device
+        carrying the whole kernel budget; N partial-reconfiguration regions
+        are N fabric devices of :attr:`region_gates` each.  CGRA grids and
+        extra soft-core slots become additional entries here -- the
+        partitioning pipeline never hard-codes a device count.
+        """
+        cpu = cpu_device(self.cpu_clock_mhz)
+        if self.fabric_regions <= 0:
+            return (cpu, fabric_device(
+                0, self.capacity_gates, self.device.max_clock_mhz,
+                self.device.bram_bytes,
+            ))
+        gates = self.region_gates
+        return (cpu,) + tuple(
+            fabric_device(i, gates, self.device.max_clock_mhz,
+                          self.device.bram_bytes)
+            for i in range(self.fabric_regions)
+        )
 
     def with_regions(self, regions: int) -> "Platform":
         """This platform with the fabric split into *regions* PR regions."""

@@ -1,0 +1,276 @@
+"""Frozen pre-pipeline partitioners, copied verbatim from git history
+(commit ba2191c, ``src/repro/partition/{ninety_ten,baselines}.py``).
+
+The differential suite in ``test_legacy_shim.py`` holds the pipeline-backed
+shims to bit-identical agreement with these reference implementations over
+all benchmarks.  Never "fix" or modernize this file: its entire value is
+that it does not change when the production code does.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+
+from repro.partition.estimator import Candidate
+from repro.partition.placement import NinetyTenOptions
+from repro.partition.result import PartitionResult
+from repro.platform.platform import Platform
+
+
+class LegacyNinetyTenPartitioner:
+    def __init__(self, platform: Platform, options: NinetyTenOptions | None = None):
+        self.platform = platform
+        self.options = options or NinetyTenOptions()
+
+    def partition(self, candidates: list[Candidate], total_cycles: int) -> PartitionResult:
+        start_time = time.perf_counter()
+        budget = self.platform.capacity_gates
+        result = PartitionResult(area_budget=budget, algorithm="90-10")
+
+        def fits(candidate: Candidate) -> bool:
+            return result.area_used + candidate.area <= budget
+
+        def conflicts(candidate: Candidate) -> bool:
+            return any(candidate.overlaps(chosen) for chosen in result.selected)
+
+        def select(candidate: Candidate, step: int) -> None:
+            result.selected.append(candidate)
+            result.area_used += candidate.area
+            result.step_of[candidate.name] = step
+
+        # --- step 1: the most frequent few loops (~90% of execution) -----
+        # Hot loops are ranked by software cycles; for each hot loop the
+        # best *granularity* within its nest (outer vs inner) is the family
+        # member that saves the most time -- e.g. a pipelinable inner loop
+        # usually beats its enclosing outer loop.
+        ranked = sorted(candidates, key=lambda c: -c.profile.sw_cycles)
+        covered = 0
+        for candidate in ranked:
+            if covered >= self.options.hot_fraction * total_cycles:
+                break
+            if len(result.selected) >= self.options.max_hot_loops:
+                break
+            if conflicts(candidate) or not fits(candidate):
+                continue
+            family = [c for c in ranked if c is candidate or c.overlaps(candidate)]
+            family = [c for c in family if not conflicts(c) and fits(c)]
+            if not family:
+                continue
+            best = max(family, key=lambda c: c.saved_seconds)
+            if best.local_speedup <= self.options.min_local_speedup:
+                continue
+            select(best, step=1)
+            covered += best.profile.sw_cycles
+
+        # --- step 2: alias-coupled regions -------------------------------
+        selected_symbols: set[str] = set()
+        for candidate in result.selected:
+            footprint = candidate.function.loop_footprints.get(
+                candidate.profile.header_address
+            )
+            if footprint is not None:
+                selected_symbols |= footprint.symbols
+        for candidate in ranked:
+            if conflicts(candidate) or not fits(candidate):
+                continue
+            footprint = candidate.function.loop_footprints.get(
+                candidate.profile.header_address
+            )
+            if footprint is None or not footprint.symbols:
+                continue
+            if footprint.symbols & selected_symbols:
+                if candidate.local_speedup > self.options.min_local_speedup:
+                    select(candidate, step=2)
+                    selected_symbols |= footprint.symbols
+
+        # --- step 3: greedy fill by profile x suitability ------------------
+        remaining = [c for c in ranked if not conflicts(c)]
+        remaining.sort(key=lambda c: -(c.profile.sw_cycles * max(0.0, c.local_speedup)))
+        for candidate in remaining:
+            if conflicts(candidate):
+                continue
+            if not fits(candidate):
+                continue  # paper: "until the area constraint is violated"
+            if candidate.saved_seconds <= 0:
+                continue
+            select(candidate, step=3)
+
+        result.partitioning_seconds = time.perf_counter() - start_time
+        return result
+
+
+def _feasible(selection: list[Candidate], budget: float) -> bool:
+    area = sum(c.area for c in selection)
+    if area > budget:
+        return False
+    for a, b in itertools.combinations(selection, 2):
+        if a.overlaps(b):
+            return False
+    return True
+
+
+def _result(
+    selection: list[Candidate], budget: float, algorithm: str, seconds: float
+) -> PartitionResult:
+    result = PartitionResult(
+        selected=list(selection),
+        area_used=sum(c.area for c in selection),
+        area_budget=budget,
+        partitioning_seconds=seconds,
+        algorithm=algorithm,
+    )
+    for candidate in selection:
+        result.step_of[candidate.name] = 0
+    return result
+
+
+def legacy_greedy_partition(
+    platform: Platform, candidates: list[Candidate], total_cycles: int
+) -> PartitionResult:
+    """Greedy by time-saved per gate (classic knapsack value density)."""
+    start = time.perf_counter()
+    budget = platform.capacity_gates
+    ranked = sorted(
+        candidates,
+        key=lambda c: -(c.saved_seconds / c.area if c.area > 0 else 0.0),
+    )
+    chosen: list[Candidate] = []
+    area = 0.0
+    for candidate in ranked:
+        if candidate.saved_seconds <= 0 or area + candidate.area > budget:
+            continue
+        if any(candidate.overlaps(other) for other in chosen):
+            continue
+        chosen.append(candidate)
+        area += candidate.area
+    return _result(chosen, budget, "greedy", time.perf_counter() - start)
+
+
+def legacy_exhaustive_partition(
+    platform: Platform,
+    candidates: list[Candidate],
+    total_cycles: int,
+    max_candidates: int = 14,
+) -> PartitionResult:
+    """Optimal subset by estimated application time (reference, small n)."""
+    start = time.perf_counter()
+    budget = platform.capacity_gates
+    pool = sorted(candidates, key=lambda c: -c.saved_seconds)[:max_candidates]
+    best: list[Candidate] = []
+    best_saved = 0.0
+    for mask in range(1 << len(pool)):
+        selection = [pool[i] for i in range(len(pool)) if mask >> i & 1]
+        if not _feasible(selection, budget):
+            continue
+        saved = sum(c.saved_seconds for c in selection)
+        if saved > best_saved:
+            best_saved = saved
+            best = selection
+    return _result(best, budget, "exhaustive", time.perf_counter() - start)
+
+
+def legacy_gclp_partition(
+    platform: Platform, candidates: list[Candidate], total_cycles: int
+) -> PartitionResult:
+    """GCLP-style partitioner after Kalavade & Lee (1994), adapted to loop
+    granularity.
+
+    Each step computes a *global criticality* GC -- how far the current
+    mapping is from the performance objective -- and maps the next
+    unmapped region: time-critical steps (high GC) map the region with the
+    largest time saving to hardware; relaxed steps use the *local phase*
+    preference, here area economy (saved seconds per gate).  This follows
+    the published algorithm's structure while using this repo's cost
+    models; it is a faithful adaptation, not a line-by-line port.
+    """
+    start = time.perf_counter()
+    budget = platform.capacity_gates
+    objective = 0.5 * platform.cpu_seconds(total_cycles)  # target: halve time
+
+    unmapped = [c for c in candidates if c.saved_seconds > 0]
+    chosen: list[Candidate] = []
+    area = 0.0
+    current_time = platform.cpu_seconds(total_cycles)
+    while unmapped:
+        gc = (current_time - objective) / max(current_time, 1e-12)
+        if gc > 0.1:
+            unmapped.sort(key=lambda c: -c.saved_seconds)
+        else:
+            unmapped.sort(
+                key=lambda c: -(c.saved_seconds / c.area if c.area else 0.0)
+            )
+        candidate = unmapped.pop(0)
+        if area + candidate.area > budget:
+            continue
+        if any(candidate.overlaps(other) for other in chosen):
+            continue
+        chosen.append(candidate)
+        area += candidate.area
+        current_time -= candidate.saved_seconds
+    return _result(chosen, budget, "gclp", time.perf_counter() - start)
+
+
+def legacy_annealing_partition(
+    platform: Platform,
+    candidates: list[Candidate],
+    total_cycles: int,
+    iterations: int = 4000,
+    seed: int = 12345,
+) -> PartitionResult:
+    """Simulated annealing after Henkel (1999), minimizing execution time
+    with an area-violation penalty.  Deterministic via a fixed seed."""
+    start = time.perf_counter()
+    rng = random.Random(seed)
+    budget = platform.capacity_gates
+    pool = [c for c in candidates if c.saved_seconds != 0.0]
+    if not pool:
+        return _result([], budget, "annealing", time.perf_counter() - start)
+
+    def cost(bits: list[bool]) -> float:
+        selection = [c for c, bit in zip(pool, bits) if bit]
+        area = sum(c.area for c in selection)
+        saved = sum(c.saved_seconds for c in selection)
+        penalty = 0.0
+        if area > budget:
+            penalty += (area - budget) / budget
+        for a, b in itertools.combinations(selection, 2):
+            if a.overlaps(b):
+                penalty += 1.0
+        baseline = platform.cpu_seconds(total_cycles)
+        return (baseline - saved) / baseline + penalty
+
+    bits = [False] * len(pool)
+    best_bits = list(bits)
+    current = cost(bits)
+    best = current
+    temperature = 1.0
+    for step in range(iterations):
+        index = rng.randrange(len(pool))
+        bits[index] = not bits[index]
+        candidate_cost = cost(bits)
+        delta = candidate_cost - current
+        if delta <= 0 or rng.random() < pow(2.718281828, -delta / max(temperature, 1e-9)):
+            current = candidate_cost
+            if current < best:
+                best = current
+                best_bits = list(bits)
+        else:
+            bits[index] = not bits[index]
+        temperature *= 0.999
+
+    selection = [c for c, bit in zip(pool, best_bits) if bit]
+    if not _feasible(selection, budget):
+        # drop worst offenders until feasible
+        selection.sort(key=lambda c: -c.saved_seconds)
+        repaired: list[Candidate] = []
+        area = 0.0
+        for candidate in selection:
+            if area + candidate.area <= budget and not any(
+                candidate.overlaps(other) for other in repaired
+            ):
+                repaired.append(candidate)
+                area += candidate.area
+        selection = repaired
+    return _result(selection, budget, "annealing", time.perf_counter() - start)

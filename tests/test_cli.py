@@ -39,6 +39,34 @@ def test_partition(binary, capsys):
     output = capsys.readouterr().out
     assert "application speedup" in output
     assert "energy savings" in output
+    assert "pipeline" in output  # per-pass wall clock
+
+
+def test_partition_multi_device(binary, capsys):
+    assert main([
+        "partition", str(binary),
+        "--devices", "fabric:40000", "fabric:40000", "cgra:20000@150",
+        "--algorithm", "greedy",
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "fabric1" in output
+    assert "cgra0" in output
+    assert "algorithm           : greedy" in output
+
+
+def test_partition_explicit_passes(binary, capsys):
+    assert main([
+        "partition", str(binary),
+        "--passes", "filter,annotate,place,legalize,report",
+        "--algorithm", "gclp",
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "legalize" in output
+
+
+def test_partition_rejects_bad_device_spec(binary):
+    with pytest.raises(SystemExit):
+        main(["partition", str(binary), "--devices", "quantum:100"])
 
 
 def test_decompile(binary, capsys):
